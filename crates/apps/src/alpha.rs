@@ -1,0 +1,110 @@
+//! Alpha-blending workload: reference implementation and circuits.
+//!
+//! Pixels are RGBA8888 words (R in bits 7:0 … A in bits 31:24). The
+//! custom instruction blends one whole pixel: `op_a` is the source pixel
+//! (its A channel is the blend factor), `op_b` the destination pixel; the
+//! result keeps the destination's alpha. The 6-cycle latency models three
+//! sequential channel blends on the shared-multiplier datapath of the
+//! gate-level channel circuit
+//! ([`proteus_fabric::library::alpha_blend_channel`], 2 cycles per
+//! channel), which tests prove arithmetic-equivalent per channel.
+
+use proteus_fabric::library::alpha_blend_ref;
+use proteus_rfu::behavioral::FixedLatency;
+use proteus_rfu::PfuCircuit;
+
+/// Cycles per pixel-blend custom instruction (3 channels × 2 cycles).
+pub const BLEND_LATENCY: u32 = 6;
+
+/// Blend a whole RGBA pixel: each colour channel of `src` over `dst`
+/// using `src`'s alpha; the result's alpha is `dst`'s.
+pub fn blend_pixel(src: u32, dst: u32) -> u32 {
+    let alpha = (src >> 24 & 0xFF) as u8;
+    let mut out = dst & 0xFF00_0000;
+    for shift in [0u32, 8, 16] {
+        let s = (src >> shift & 0xFF) as u8;
+        let d = (dst >> shift & 0xFF) as u8;
+        out |= u32::from(alpha_blend_ref(s, d, alpha)) << shift;
+    }
+    out
+}
+
+/// Blend `src` over `dst` in place.
+///
+/// # Panics
+///
+/// Panics if the buffers differ in length.
+pub fn blend_image(src: &[u32], dst: &mut [u32]) {
+    assert_eq!(src.len(), dst.len(), "image size mismatch");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = blend_pixel(s, *d);
+    }
+}
+
+/// The hardware implementation of the pixel-blend custom instruction.
+pub fn blend_circuit() -> Box<dyn PfuCircuit> {
+    Box::new(FixedLatency::new("alpha_pixel", BLEND_LATENCY, 16, blend_pixel))
+}
+
+/// Deterministic pseudo-random pixel data (xorshift32), shared between
+/// the host reference and the guest program generator.
+pub fn test_pixels(n: usize, mut seed: u32) -> Vec<u32> {
+    (0..n)
+        .map(|_| {
+            seed ^= seed << 13;
+            seed ^= seed >> 17;
+            seed ^= seed << 5;
+            seed
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        let src_opaque = 0xFF00_00FF; // alpha 255, red 255
+        let dst = 0x8800_FF00; // green
+        let out = blend_pixel(src_opaque, dst);
+        assert_eq!(out & 0xFF, 0xFF, "opaque source wins on red");
+        assert_eq!(out >> 8 & 0xFF, 0, "opaque source wins on green");
+        assert_eq!(out >> 24, 0x88, "destination alpha preserved");
+
+        let src_clear = 0x0000_00FF;
+        let out = blend_pixel(src_clear, dst);
+        assert_eq!(out, dst, "transparent source leaves destination");
+    }
+
+    #[test]
+    fn circuit_matches_reference() {
+        let mut c = blend_circuit();
+        for (&s, &d) in test_pixels(16, 1).iter().zip(&test_pixels(16, 2)) {
+            let mut init = true;
+            let out = loop {
+                let o = c.clock(s, d, init);
+                init = false;
+                if o.done {
+                    break o.result;
+                }
+            };
+            assert_eq!(out, blend_pixel(s, d));
+        }
+    }
+
+    #[test]
+    fn blend_image_in_place() {
+        let src = test_pixels(64, 7);
+        let mut dst = test_pixels(64, 9);
+        let expect: Vec<u32> = src.iter().zip(&dst).map(|(&s, &d)| blend_pixel(s, d)).collect();
+        blend_image(&src, &mut dst);
+        assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn test_pixels_deterministic() {
+        assert_eq!(test_pixels(10, 42), test_pixels(10, 42));
+        assert_ne!(test_pixels(10, 42), test_pixels(10, 43));
+    }
+}

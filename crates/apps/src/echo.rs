@@ -1,0 +1,131 @@
+//! Audio echo workload: reference implementation and circuits.
+//!
+//! A feedback echo over 16-bit samples (stored one per word):
+//! `y[n] = sat16(x[n] + (y[n-D] * gain) >> 8)` with an 8.8 fixed-point
+//! gain. The guest implements the kernel with **two custom instructions
+//! in a tight loop** — `echo_scale` (CID 0) and `echo_sat_add` (CID 1) —
+//! which is what makes echo contend for PFUs at half the process count of
+//! the single-circuit workloads (paper §5.1).
+
+use proteus_rfu::behavioral::FixedLatency;
+use proteus_rfu::PfuCircuit;
+
+/// Cycles for the scale instruction (16×8 multiply + shift, sequential
+/// shift-add datapath).
+pub const SCALE_LATENCY: u32 = 3;
+
+/// Cycles for the saturating add.
+pub const SAT_ADD_LATENCY: u32 = 1;
+
+/// `(sample * gain) >> 8` on sign-extended 16-bit samples; gain is 8.8
+/// fixed point in the low 16 bits of `op_b`.
+pub fn echo_scale(sample: u32, gain: u32) -> u32 {
+    let s = sample as u16 as i16 as i32;
+    let g = (gain & 0xFFFF) as i32;
+    (((s * g) >> 8) as u32) & 0xFFFF
+}
+
+/// Saturating signed 16-bit add of the two operands' low halves.
+pub fn echo_sat_add(a: u32, b: u32) -> u32 {
+    let x = a as u16 as i16;
+    let y = b as u16 as i16;
+    x.saturating_add(y) as u16 as u32
+}
+
+/// Reference echo over a sample buffer. `delay` is in samples; the
+/// feedback taps the *output* signal. Samples wrap around the low 16
+/// bits of each word.
+///
+/// # Panics
+///
+/// Panics if `delay` is zero.
+pub fn echo_ref(input: &[u32], delay: usize, gain: u32) -> Vec<u32> {
+    assert!(delay > 0, "delay must be positive");
+    let mut out = Vec::with_capacity(input.len());
+    for (n, &x) in input.iter().enumerate() {
+        let fed = if n >= delay { out[n - delay] } else { 0 };
+        let scaled = echo_scale(fed, gain);
+        out.push(echo_sat_add(x, scaled));
+    }
+    out
+}
+
+/// The scale custom instruction (CID 0 in the guest program).
+pub fn scale_circuit() -> Box<dyn PfuCircuit> {
+    Box::new(FixedLatency::new("echo_scale", SCALE_LATENCY, 8, echo_scale))
+}
+
+/// The saturating-add custom instruction (CID 1).
+pub fn sat_add_circuit() -> Box<dyn PfuCircuit> {
+    Box::new(FixedLatency::new("echo_sat_add", SAT_ADD_LATENCY, 4, echo_sat_add))
+}
+
+/// Deterministic 16-bit test signal shared with the guest generator.
+pub fn test_samples(n: usize, mut seed: u32) -> Vec<u32> {
+    (0..n)
+        .map(|_| {
+            seed = seed.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            seed >> 16
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_applies_fixed_point_gain() {
+        assert_eq!(echo_scale(256, 0x80), 128, "gain 0.5");
+        assert_eq!(echo_scale(100, 0x100), 100, "gain 1.0");
+        assert_eq!(echo_scale(0, 0xFF), 0);
+        // Negative samples stay negative.
+        let neg = (-256i16) as u16 as u32;
+        assert_eq!(echo_scale(neg, 0x80) as u16 as i16, -128);
+    }
+
+    #[test]
+    fn sat_add_saturates() {
+        assert_eq!(echo_sat_add(0x7FFF, 1) as u16 as i16, i16::MAX);
+        let neg = (-30000i16) as u16 as u32;
+        assert_eq!(echo_sat_add(neg, neg) as u16 as i16, i16::MIN);
+        assert_eq!(echo_sat_add(5, 7), 12);
+    }
+
+    #[test]
+    fn echo_is_silence_preserving() {
+        let silence = vec![0u32; 64];
+        assert_eq!(echo_ref(&silence, 8, 0x80), silence);
+    }
+
+    #[test]
+    fn echo_repeats_an_impulse() {
+        let mut input = vec![0u32; 40];
+        input[0] = 1000;
+        let out = echo_ref(&input, 10, 0x80);
+        assert_eq!(out[0], 1000);
+        assert_eq!(out[10], 500);
+        assert_eq!(out[20], 250);
+        assert_eq!(out[5], 0);
+    }
+
+    #[test]
+    fn circuits_match_reference() {
+        let run = |c: &mut Box<dyn PfuCircuit>, a: u32, b: u32| {
+            let mut init = true;
+            loop {
+                let o = c.clock(a, b, init);
+                init = false;
+                if o.done {
+                    return o.result;
+                }
+            }
+        };
+        let mut sc = scale_circuit();
+        let mut ad = sat_add_circuit();
+        for (&a, &b) in test_samples(32, 3).iter().zip(&test_samples(32, 4)) {
+            assert_eq!(run(&mut sc, a, 0x9A), echo_scale(a, 0x9A));
+            assert_eq!(run(&mut ad, a, b), echo_sat_add(a, b));
+        }
+    }
+}

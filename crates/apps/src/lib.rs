@@ -1,0 +1,40 @@
+//! The Proteus evaluation workloads (paper §5.1).
+//!
+//! Three test applications drive the experiments: "alpha blending image
+//! processing, twofish encryption, and audio echo processing". Alpha
+//! blending and Twofish each use **one** custom instruction; echo uses
+//! **two custom instructions in a tight loop** — so with four PFUs,
+//! contention starts at five concurrent single-circuit processes but at
+//! only three echo processes (the paper plots contention at >4 and >2
+//! because sharing is disabled).
+//!
+//! Every workload comes in the forms the system needs:
+//!
+//! * a **pure-Rust reference** (ground truth for tests and for the exit-
+//!   code checksums that validate guest runs end-to-end);
+//! * a **hardware circuit** for each custom instruction
+//!   (behavioral [`proteus_rfu::PfuCircuit`] models; the alpha-blend one
+//!   is proven equivalent to the gate-level
+//!   [`proteus_fabric::library::alpha_blend_channel`] netlist);
+//! * a **guest assembly program** using the custom instructions
+//!   (the accelerated form), including the registered *software
+//!   alternative* routine written against the `ldop`/`stres`/`retsd` ABI
+//!   of §4.3;
+//! * a **pure-software guest program** (no custom instructions) for the
+//!   order-of-magnitude speedup claim.
+//!
+//! [`workload::WorkloadSpec`] bundles program + circuits + the expected
+//! checksum, ready to spawn into a POrSCHE kernel.
+//!
+//! The [`twofish`] module is a complete from-scratch implementation of
+//! the Twofish cipher (128-bit keys): q-permutations, MDS/RS matrices
+//! over GF(2⁸), the h function, key schedule and the full 16-round
+//! network, validated against the published test vector.
+
+pub mod alpha;
+pub mod echo;
+pub mod guest;
+pub mod twofish;
+pub mod workload;
+
+pub use workload::{AppKind, WorkloadConfig, WorkloadSpec};

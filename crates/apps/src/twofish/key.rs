@@ -1,0 +1,120 @@
+//! The Twofish key schedule (128-bit keys).
+
+use super::mds::{mds_column, rs_reduce};
+use super::qbox::{q0, q1};
+
+/// The ρ constant used to feed round indices into `h`.
+pub const RHO: u32 = 0x0101_0101;
+
+/// The h function for k = 2 (128-bit keys): two rounds of key-byte XOR
+/// between q permutations, then the MDS matrix.
+pub(crate) fn h(x: u32, l: &[u32; 2]) -> u32 {
+    let xb = x.to_le_bytes();
+    let l0 = l[0].to_le_bytes();
+    let l1 = l[1].to_le_bytes();
+    let y = [
+        q1(q0(q0(xb[0]) ^ l1[0]) ^ l0[0]),
+        q0(q0(q1(xb[1]) ^ l1[1]) ^ l0[1]),
+        q1(q1(q0(xb[2]) ^ l1[2]) ^ l0[2]),
+        q0(q1(q1(xb[3]) ^ l1[3]) ^ l0[3]),
+    ];
+    mds_column(y)
+}
+
+/// Expanded key material: 40 round subkeys plus the S-box words driving
+/// the g function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeySchedule {
+    /// Subkeys K0–K39 (whitening: 0–7; rounds: 8–39).
+    pub k: [u32; 40],
+    /// The key-dependent S words for g (`s[0]` pairs with the inner q
+    /// stage).
+    pub s: [u32; 2],
+}
+
+impl KeySchedule {
+    /// Expand a 128-bit key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let m: Vec<u32> = key
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let me = [m[0], m[2]];
+        let mo = [m[1], m[3]];
+        // S words come from the RS code over key byte groups, in
+        // *reverse* group order.
+        let s = [rs_reduce(&key[8..16]), rs_reduce(&key[0..8])];
+        let mut k = [0u32; 40];
+        for i in 0..20u32 {
+            let a = h(2 * i * RHO, &me);
+            let b = h((2 * i + 1) * RHO, &mo).rotate_left(8);
+            k[2 * i as usize] = a.wrapping_add(b);
+            k[2 * i as usize + 1] = a.wrapping_add(b.wrapping_mul(2)).rotate_left(9);
+        }
+        Self { k, s }
+    }
+
+    /// The key-dependent g function: `h(x, S)`.
+    pub fn g(&self, x: u32) -> u32 {
+        h(x, &self.s)
+    }
+
+    /// "Full keying" lookup tables: `g(x) = T0[x₀] ^ T1[x₁] ^ T2[x₂] ^
+    /// T3[x₃]`. This is what fast software implementations precompute,
+    /// and what the guest program's registered *software alternative*
+    /// embeds in memory.
+    pub fn g_tables(&self) -> Box<[[u32; 256]; 4]> {
+        let s0 = self.s[0].to_le_bytes();
+        let s1 = self.s[1].to_le_bytes();
+        let mut t = Box::new([[0u32; 256]; 4]);
+        for b in 0..=255u8 {
+            let y = [
+                q1(q0(q0(b) ^ s1[0]) ^ s0[0]),
+                q0(q0(q1(b) ^ s1[1]) ^ s0[1]),
+                q1(q1(q0(b) ^ s1[2]) ^ s0[2]),
+                q0(q1(q1(b) ^ s1[3]) ^ s0[3]),
+            ];
+            for lane in 0..4 {
+                let mut col = [0u8; 4];
+                col[lane] = y[lane];
+                t[lane][b as usize] = mds_column(col);
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_key_sensitive() {
+        let a = KeySchedule::new(&[0u8; 16]);
+        let b = KeySchedule::new(&[0u8; 16]);
+        assert_eq!(a, b);
+        let mut key = [0u8; 16];
+        key[5] = 1;
+        let c = KeySchedule::new(&key);
+        assert_ne!(a.k, c.k);
+    }
+
+    #[test]
+    fn g_tables_reproduce_g() {
+        let ks = KeySchedule::new(b"table check key!");
+        let t = ks.g_tables();
+        for x in [0u32, 1, 0xDEAD_BEEF, 0x0102_0304, u32::MAX] {
+            let b = x.to_le_bytes();
+            let via_tables =
+                t[0][b[0] as usize] ^ t[1][b[1] as usize] ^ t[2][b[2] as usize] ^ t[3][b[3] as usize];
+            assert_eq!(via_tables, ks.g(x), "x={x:#x}");
+        }
+    }
+
+    #[test]
+    fn g_differs_from_identity() {
+        let ks = KeySchedule::new(b"0123456789abcdef");
+        let outs: std::collections::HashSet<u32> = (0..64u32).map(|x| ks.g(x)).collect();
+        assert_eq!(outs.len(), 64, "g should not collide on small inputs");
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion bench over the Figure 3 configuration space (Software
+//! Dispatch Test): circuit switching vs. deferring to the registered
+//! software alternative under contention.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use porsche::cis::DispatchMode;
+use porsche::policy::PolicyKind;
+use proteus::experiment::{QUANTUM_10MS, QUANTUM_1MS};
+use proteus::scenario::Scenario;
+use proteus_apps::AppKind;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_software_dispatch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(700));
+    for app in [AppKind::Echo, AppKind::Alpha] {
+        for (mode, mname) in [
+            (DispatchMode::HardwareOnly, "swap"),
+            (DispatchMode::SoftwareFallback, "soft"),
+        ] {
+            for (quantum, qname) in [(QUANTUM_10MS, "10ms"), (QUANTUM_1MS, "1ms")] {
+                for n in [2usize, 6, 8] {
+                    let id =
+                        BenchmarkId::new(format!("{}_{}_{}", app.name(), mname, qname), n);
+                    group.bench_function(id, |b| {
+                        b.iter(|| {
+                            let result = Scenario::new(app)
+                                .instances(n)
+                                .size(64)
+                                .passes(8)
+                                .quantum(quantum)
+                                .policy(PolicyKind::RoundRobin)
+                                .mode(mode)
+                                .run()
+                                .expect("fig3 bench run");
+                            assert!(result.all_valid());
+                            result.makespan
+                        })
+                    });
+                }
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Substrate microbenchmarks: how expensive are the pieces the
+//! experiments are built from? Useful when tuning the simulator and as
+//! an ablation of where host time goes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use porsche::kernel::{Kernel, KernelConfig, SpawnSpec};
+use proteus_apps::twofish::Twofish;
+use proteus_cpu::{Cpu, Memory, NullCoprocessor};
+use proteus_fabric::place::FabricDims;
+use proteus_fabric::{compile, library, Device};
+use proteus_isa::{assemble, decode, encode, Instr};
+use proteus_rfu::{Rfu, RfuConfig};
+
+fn bench_isa(c: &mut Criterion) {
+    let program = assemble(
+        "start: ldr r1, =4096\nloop: subs r1, r1, #1\n add r2, r2, r1\n bne loop\n swi #0\n",
+    )
+    .expect("asm");
+    c.bench_function("isa/decode_word", |b| {
+        let word = program.words()[1];
+        b.iter(|| decode(std::hint::black_box(word)).expect("decode"))
+    });
+    c.bench_function("isa/encode_roundtrip", |b| {
+        let instr: Vec<Instr> = program.words().iter().map(|&w| decode(w).expect("decode")).collect();
+        b.iter(|| instr.iter().map(|&i| encode(i)).fold(0u32, u32::wrapping_add))
+    });
+    c.bench_function("cpu/interpret_16k_cycles", |b| {
+        b.iter(|| {
+            let mut mem = Memory::new(64 * 1024);
+            mem.load_program(&program).expect("load");
+            let mut cpu = Cpu::new();
+            cpu.run(&mut mem, &mut NullCoprocessor, u64::MAX);
+            cpu.cycles()
+        })
+    });
+}
+
+fn bench_fabric(c: &mut Criterion) {
+    let netlist = library::alpha_blend_channel().expect("netlist");
+    c.bench_function("fabric/compile_alpha_blend", |b| {
+        b.iter(|| compile(&netlist, FabricDims::PFU).expect("compile"))
+    });
+    let compiled = compile(&netlist, FabricDims::PFU).expect("compile");
+    c.bench_function("fabric/device_load_54kB", |b| {
+        let mut dev = Device::new(FabricDims::PFU);
+        b.iter(|| dev.load(compiled.bitstream()).expect("load"))
+    });
+    c.bench_function("fabric/gate_level_blend_instruction", |b| {
+        let mut dev = Device::new(FabricDims::PFU);
+        dev.load(compiled.bitstream()).expect("load");
+        b.iter(|| dev.run_instruction(0x80C8, 0x28, 8).expect("run"))
+    });
+}
+
+fn bench_twofish(c: &mut Criterion) {
+    let tf = Twofish::new(b"benchmark-key-01");
+    c.bench_function("twofish/encrypt_block", |b| {
+        let pt = [7u8; 16];
+        b.iter(|| tf.encrypt_block(std::hint::black_box(&pt)))
+    });
+    c.bench_function("twofish/key_schedule", |b| {
+        b.iter(|| Twofish::new(std::hint::black_box(b"benchmark-key-01")))
+    });
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let program = assemble("start: ldr r1, =256\nloop: swi #1\n subs r1, r1, #1\n bne loop\n mov r0, #0\n swi #0\n")
+        .expect("asm");
+    c.bench_function("kernel/512_context_switches", |b| {
+        b.iter(|| {
+            let mut kernel = Kernel::new(KernelConfig::default());
+            let entry = program.symbol("start").expect("start");
+            kernel.spawn(SpawnSpec::new(&program).entry(entry)).expect("spawn");
+            kernel.spawn(SpawnSpec::new(&program).entry(entry)).expect("spawn");
+            let mut cpu = Cpu::new();
+            let mut rfu = Rfu::new(RfuConfig::default());
+            kernel.run(&mut cpu, &mut rfu, 1_000_000_000).expect("run").stats.context_switches
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(20);
+    targets = bench_isa, bench_fabric, bench_twofish, bench_kernel
+}
+criterion_main!(benches);

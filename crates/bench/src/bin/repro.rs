@@ -1,0 +1,87 @@
+//! Regenerate every figure and claim of the paper's evaluation.
+//!
+//! ```text
+//! repro [--quick] [fig2] [fig3] [speedup] [policies] [quanta] [pfus]
+//!       [config-split] [tlb] [longinstr] [soft-crossover] [sharing] [dynamic] [all]
+//! ```
+//!
+//! With no experiment names, runs `all`. Results are printed as tables
+//! and written as long-format CSVs into `results/`.
+
+use std::path::Path;
+use std::time::Instant;
+
+use proteus::experiment::{
+    ablation_config_split, ablation_long_instructions, ablation_pfus, ablation_policies,
+    ablation_quanta, ablation_sharing, ablation_soft_crossover, ablation_tlb, dynamic_load,
+    fig2, fig3, speedup, Scale,
+};
+use proteus::series::SeriesSet;
+
+fn emit(set: &SeriesSet, outdir: &Path) {
+    println!("== {} ==", set.figure);
+    println!("{}", set.to_table());
+    let path = outdir.join(format!("{}.csv", set.figure));
+    match set.write_csv(&path) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let mut wanted: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    if wanted.is_empty() {
+        wanted.push("all");
+    }
+    let all = wanted.contains(&"all");
+    let want = |name: &str| all || wanted.contains(&name);
+
+    let outdir = Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(outdir) {
+        eprintln!("could not create {}: {e}", outdir.display());
+    }
+
+    let t0 = Instant::now();
+    if want("fig2") {
+        emit(&fig2(&scale), outdir);
+    }
+    if want("fig3") {
+        emit(&fig3(&scale), outdir);
+    }
+    if want("speedup") {
+        emit(&speedup(&scale), outdir);
+    }
+    if want("policies") {
+        emit(&ablation_policies(&scale), outdir);
+    }
+    if want("quanta") {
+        emit(&ablation_quanta(&scale), outdir);
+    }
+    if want("pfus") {
+        emit(&ablation_pfus(&scale), outdir);
+    }
+    if want("config-split") {
+        emit(&ablation_config_split(&scale), outdir);
+    }
+    if want("tlb") {
+        emit(&ablation_tlb(&scale), outdir);
+    }
+    if want("longinstr") {
+        emit(&ablation_long_instructions(), outdir);
+    }
+    if want("soft-crossover") {
+        emit(&ablation_soft_crossover(&scale), outdir);
+    }
+    if want("sharing") {
+        emit(&ablation_sharing(&scale), outdir);
+    }
+    if want("dynamic") {
+        emit(&dynamic_load(&scale), outdir);
+    }
+    println!("done in {:.1}s (scale: {scale:?})", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,9 @@
+//! Benchmark harness for the Proteus reproduction.
+//!
+//! Two entry points:
+//!
+//! * the `repro` binary (`cargo run -p proteus-bench --bin repro
+//!   --release`) regenerates every figure of the paper's evaluation and
+//!   every DESIGN.md ablation as tables + CSVs under `results/`;
+//! * Criterion benches (`cargo bench`) time representative slices of the
+//!   same experiments plus the substrate microbenchmarks.

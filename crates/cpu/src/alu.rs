@@ -1,0 +1,170 @@
+//! ALU: barrel shifter, data-processing semantics and CPSR flags.
+
+use proteus_isa::{DpOp, Operand2, Shift, ShiftKind};
+
+/// The four CPSR condition flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cpsr {
+    /// Negative.
+    pub n: bool,
+    /// Zero.
+    pub z: bool,
+    /// Carry.
+    pub c: bool,
+    /// Overflow.
+    pub v: bool,
+}
+
+impl Cpsr {
+    /// Pack into a word (bits 31..28 = N,Z,C,V) for context save.
+    pub fn to_word(self) -> u32 {
+        (u32::from(self.n) << 31) | (u32::from(self.z) << 30) | (u32::from(self.c) << 29) | (u32::from(self.v) << 28)
+    }
+
+    /// Unpack from a context-save word.
+    pub fn from_word(w: u32) -> Cpsr {
+        Cpsr { n: w >> 31 & 1 == 1, z: w >> 30 & 1 == 1, c: w >> 29 & 1 == 1, v: w >> 28 & 1 == 1 }
+    }
+}
+
+/// Apply a barrel shift, returning `(value, carry_out)`.
+///
+/// An amount of zero passes the value through with the incoming carry
+/// (our shifts are immediate-amount only; ARM's special amount-0 LSR/ASR
+/// encodings for 32-bit shifts are not modelled).
+pub fn barrel_shift(value: u32, shift: Shift, carry_in: bool) -> (u32, bool) {
+    let amount = u32::from(shift.amount);
+    if amount == 0 {
+        return (value, carry_in);
+    }
+    match shift.kind {
+        ShiftKind::Lsl => (value << amount, value >> (32 - amount) & 1 == 1),
+        ShiftKind::Lsr => (value >> amount, value >> (amount - 1) & 1 == 1),
+        ShiftKind::Asr => (((value as i32) >> amount) as u32, (value as i32) >> (amount - 1) & 1 == 1),
+        ShiftKind::Ror => (value.rotate_right(amount), value.rotate_right(amount) >> 31 & 1 == 1),
+    }
+}
+
+/// Evaluate a flexible second operand: `(value, shifter_carry)`.
+pub fn eval_op2(op2: Operand2, reg_read: impl Fn(usize) -> u32, carry_in: bool) -> (u32, bool) {
+    match op2 {
+        Operand2::Imm { value, rot } => {
+            let v = Operand2::imm_value(value, rot);
+            let carry = if rot == 0 { carry_in } else { v >> 31 & 1 == 1 };
+            (v, carry)
+        }
+        Operand2::Reg { reg, shift } => barrel_shift(reg_read(reg.index()), shift, carry_in),
+    }
+}
+
+/// Outcome of a data-processing operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AluResult {
+    /// The computed value (meaningless for test ops, which only set
+    /// flags).
+    pub value: u32,
+    /// Flags this operation produces when `S` is set.
+    pub flags: Cpsr,
+    /// Whether `value` is written to `rd`.
+    pub writes_rd: bool,
+}
+
+fn add_flags(a: u32, b: u32, carry_in: bool) -> (u32, Cpsr) {
+    let (s1, c1) = a.overflowing_add(b);
+    let (sum, c2) = s1.overflowing_add(u32::from(carry_in));
+    let c = c1 || c2;
+    let v = (!(a ^ b) & (a ^ sum)) >> 31 & 1 == 1;
+    (sum, Cpsr { n: sum >> 31 & 1 == 1, z: sum == 0, c, v })
+}
+
+fn logical_flags(value: u32, shifter_carry: bool, old: Cpsr) -> Cpsr {
+    Cpsr { n: value >> 31 & 1 == 1, z: value == 0, c: shifter_carry, v: old.v }
+}
+
+/// Execute a data-processing opcode.
+pub fn exec_dp(op: DpOp, rn: u32, op2: u32, shifter_carry: bool, cpsr: Cpsr) -> AluResult {
+    let logical = |value: u32, writes: bool| AluResult {
+        value,
+        flags: logical_flags(value, shifter_carry, cpsr),
+        writes_rd: writes,
+    };
+    let arith = |(value, flags): (u32, Cpsr), writes: bool| AluResult { value, flags, writes_rd: writes };
+    match op {
+        DpOp::And => logical(rn & op2, true),
+        DpOp::Eor => logical(rn ^ op2, true),
+        DpOp::Orr => logical(rn | op2, true),
+        DpOp::Bic => logical(rn & !op2, true),
+        DpOp::Mov => logical(op2, true),
+        DpOp::Mvn => logical(!op2, true),
+        DpOp::Tst => logical(rn & op2, false),
+        DpOp::Teq => logical(rn ^ op2, false),
+        DpOp::Add => arith(add_flags(rn, op2, false), true),
+        DpOp::Adc => arith(add_flags(rn, op2, cpsr.c), true),
+        DpOp::Sub => arith(add_flags(rn, !op2, true), true),
+        DpOp::Sbc => arith(add_flags(rn, !op2, cpsr.c), true),
+        DpOp::Rsb => arith(add_flags(op2, !rn, true), true),
+        DpOp::Rsc => arith(add_flags(op2, !rn, cpsr.c), true),
+        DpOp::Cmp => arith(add_flags(rn, !op2, true), false),
+        DpOp::Cmn => arith(add_flags(rn, op2, false), false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sets_carry_and_overflow() {
+        let r = exec_dp(DpOp::Add, 0xFFFF_FFFF, 1, false, Cpsr::default());
+        assert_eq!(r.value, 0);
+        assert!(r.flags.z && r.flags.c && !r.flags.v);
+        let r = exec_dp(DpOp::Add, 0x7FFF_FFFF, 1, false, Cpsr::default());
+        assert!(r.flags.v && r.flags.n && !r.flags.c);
+    }
+
+    #[test]
+    fn sub_carry_is_not_borrow() {
+        // ARM: C set when no borrow.
+        let r = exec_dp(DpOp::Sub, 5, 3, false, Cpsr::default());
+        assert_eq!(r.value, 2);
+        assert!(r.flags.c);
+        let r = exec_dp(DpOp::Sub, 3, 5, false, Cpsr::default());
+        assert_eq!(r.value, 3u32.wrapping_sub(5));
+        assert!(!r.flags.c && r.flags.n);
+    }
+
+    #[test]
+    fn cmp_writes_no_rd() {
+        let r = exec_dp(DpOp::Cmp, 9, 9, false, Cpsr::default());
+        assert!(!r.writes_rd);
+        assert!(r.flags.z);
+    }
+
+    #[test]
+    fn adc_sbc_use_carry() {
+        let carry = Cpsr { c: true, ..Cpsr::default() };
+        assert_eq!(exec_dp(DpOp::Adc, 1, 1, false, carry).value, 3);
+        assert_eq!(exec_dp(DpOp::Sbc, 5, 3, false, carry).value, 2);
+        let no_carry = Cpsr::default();
+        assert_eq!(exec_dp(DpOp::Sbc, 5, 3, false, no_carry).value, 1);
+    }
+
+    #[test]
+    fn barrel_shift_carries() {
+        assert_eq!(barrel_shift(0x8000_0001, Shift { kind: ShiftKind::Lsl, amount: 1 }, false), (2, true));
+        assert_eq!(barrel_shift(0x3, Shift { kind: ShiftKind::Lsr, amount: 1 }, false), (1, true));
+        assert_eq!(
+            barrel_shift(0x8000_0000, Shift { kind: ShiftKind::Asr, amount: 4 }, false),
+            (0xF800_0000, false)
+        );
+        assert_eq!(barrel_shift(0x1, Shift { kind: ShiftKind::Ror, amount: 1 }, false), (0x8000_0000, true));
+        // amount 0 passes carry through.
+        assert_eq!(barrel_shift(7, Shift::NONE, true), (7, true));
+    }
+
+    #[test]
+    fn cpsr_word_roundtrip() {
+        let c = Cpsr { n: true, z: false, c: true, v: false };
+        assert_eq!(Cpsr::from_word(c.to_word()), c);
+    }
+}

@@ -1,0 +1,213 @@
+//! The coprocessor interface between the core and the reconfigurable
+//! function unit.
+//!
+//! The ProteanARM attaches the RFU "as an on-chip coprocessor, the
+//! standard way of adding additional function units to the ARM" (§5); the
+//! one core modification is that the coprocessor may return a *branch
+//! target* for software dispatch. This trait captures exactly that
+//! contract so the RFU crate can implement it without a dependency cycle.
+
+use proteus_isa::OperandSel;
+
+/// Outcome of issuing a custom instruction to the coprocessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoprocResult {
+    /// Hardware dispatch completed: write `value` to `rd` after `cycles`
+    /// PFU clock cycles.
+    Done {
+        /// Result value.
+        value: u32,
+        /// Cycles the PFU was clocked (≥ 1).
+        cycles: u64,
+    },
+    /// The cycle budget expired before the circuit raised `done`. The
+    /// status-register mechanism of §4.4 holds the circuit's progress;
+    /// the core must take the pending interrupt and *reissue* the
+    /// instruction afterwards (PC does not advance).
+    Interrupted {
+        /// Cycles consumed before the interrupt.
+        cycles: u64,
+    },
+    /// Software dispatch: the TLB mapped the CID to a software
+    /// alternative. The core must branch-and-link to `target`; the
+    /// coprocessor has latched the operands and destination register in
+    /// its operand block (§4.3).
+    SoftwareDispatch {
+        /// Address of the software alternative.
+        target: u32,
+        /// Cycles spent in the dispatch hardware.
+        cycles: u64,
+    },
+    /// No mapping for `(PID, CID)` in either TLB: raise a
+    /// custom-instruction fault so the operating system can respond
+    /// (load the circuit, install a mapping, or kill the process).
+    Fault,
+}
+
+/// Data returned by `retsd` (return from software alternative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetInfo {
+    /// Destination register index of the faulting `pfu` instruction.
+    pub rd: u8,
+    /// The value the routine stored with `stres`.
+    pub result: u32,
+    /// Return address latched by the dispatch branch.
+    pub ret_addr: u32,
+}
+
+/// The coprocessor port of the ProteanARM core.
+pub trait Coprocessor {
+    /// Issue custom instruction `cid` for process `pid`.
+    ///
+    /// `budget` is how many cycles may elapse before a pending interrupt
+    /// must be honoured (the distance to the next timer expiry);
+    /// implementations return [`CoprocResult::Interrupted`] when a
+    /// multi-cycle instruction exceeds it. `rd` and `ret_addr` are
+    /// latched on software dispatch.
+    fn exec_custom(
+        &mut self,
+        pid: u32,
+        cid: u8,
+        op_a: u32,
+        op_b: u32,
+        rd: u8,
+        ret_addr: u32,
+        budget: u64,
+    ) -> CoprocResult;
+
+    /// `mcr`: write a coprocessor register.
+    fn write_reg(&mut self, index: u8, value: u32);
+
+    /// `mrc`: read a coprocessor register.
+    fn read_reg(&self, index: u8) -> u32;
+
+    /// `ldop`: read a latched software-dispatch operand.
+    fn read_operand(&self, sel: OperandSel) -> u32;
+
+    /// `stres`: write the software-dispatch result register.
+    fn write_result(&mut self, value: u32);
+
+    /// `retsd`: finish a software alternative.
+    fn return_from_software(&mut self) -> RetInfo;
+
+    /// `mcro`: privileged write of an operand-block field
+    /// (0 = opA, 1 = opB, 2 = result, 3 = control, 4 = return address).
+    fn write_operand_field(&mut self, field: u8, value: u32);
+
+    /// `mrco`: privileged read of an operand-block field.
+    fn read_operand_field(&self, field: u8) -> u32;
+}
+
+/// The software-dispatch operand register block (§4.3), reusable by
+/// coprocessor implementations. Fields are indexed for `mcro`/`mrco`:
+/// 0 = opA, 1 = opB, 2 = result, 3 = control (low 4 bits: rd), 4 = return
+/// address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OperandBlock {
+    /// First latched source operand.
+    pub op_a: u32,
+    /// Second latched source operand.
+    pub op_b: u32,
+    /// Result staged by `stres`.
+    pub result: u32,
+    /// Control word: destination register in bits 3:0.
+    pub control: u32,
+    /// Return address for `retsd`.
+    pub ret_addr: u32,
+}
+
+impl OperandBlock {
+    /// Latch a software dispatch.
+    pub fn latch(&mut self, op_a: u32, op_b: u32, rd: u8, ret_addr: u32) {
+        self.op_a = op_a;
+        self.op_b = op_b;
+        self.control = u32::from(rd) & 0xF;
+        self.ret_addr = ret_addr;
+    }
+
+    /// Field read for `mrco`.
+    pub fn field(&self, index: u8) -> u32 {
+        match index {
+            0 => self.op_a,
+            1 => self.op_b,
+            2 => self.result,
+            3 => self.control,
+            4 => self.ret_addr,
+            _ => 0,
+        }
+    }
+
+    /// Field write for `mcro`.
+    pub fn set_field(&mut self, index: u8, value: u32) {
+        match index {
+            0 => self.op_a = value,
+            1 => self.op_b = value,
+            2 => self.result = value,
+            3 => self.control = value,
+            4 => self.ret_addr = value,
+            _ => {}
+        }
+    }
+
+    /// Destination register index from the control word.
+    pub fn rd(&self) -> u8 {
+        (self.control & 0xF) as u8
+    }
+}
+
+/// A coprocessor with no PFUs: every custom instruction faults. Useful
+/// for pure-software runs and tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullCoprocessor;
+
+impl Coprocessor for NullCoprocessor {
+    fn exec_custom(&mut self, _: u32, _: u8, _: u32, _: u32, _: u8, _: u32, _: u64) -> CoprocResult {
+        CoprocResult::Fault
+    }
+
+    fn write_reg(&mut self, _: u8, _: u32) {}
+
+    fn read_reg(&self, _: u8) -> u32 {
+        0
+    }
+
+    fn read_operand(&self, _: OperandSel) -> u32 {
+        0
+    }
+
+    fn write_result(&mut self, _: u32) {}
+
+    fn return_from_software(&mut self) -> RetInfo {
+        RetInfo { rd: 0, result: 0, ret_addr: 0 }
+    }
+
+    fn write_operand_field(&mut self, _: u8, _: u32) {}
+
+    fn read_operand_field(&self, _: u8) -> u32 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_block_latch_and_fields() {
+        let mut b = OperandBlock::default();
+        b.latch(11, 22, 7, 0x100);
+        assert_eq!(b.field(0), 11);
+        assert_eq!(b.field(1), 22);
+        assert_eq!(b.rd(), 7);
+        assert_eq!(b.field(4), 0x100);
+        b.set_field(2, 99);
+        assert_eq!(b.result, 99);
+        // Full save/restore cycle as the OS would do on a context switch.
+        let saved: Vec<u32> = (0..5).map(|i| b.field(i)).collect();
+        let mut restored = OperandBlock::default();
+        for (i, v) in saved.iter().enumerate() {
+            restored.set_field(i as u8, *v);
+        }
+        assert_eq!(restored, b);
+    }
+}

@@ -1,0 +1,341 @@
+//! Gate-level netlist intermediate representation.
+//!
+//! A [`Netlist`] is a flat graph of nodes: constants, input-port bits,
+//! 4-input LUTs and D flip-flops. It is deliberately close to what the
+//! fabric can hold — each CLB provides one LUT4 and one DFF — so placement
+//! is a mapping problem, not a synthesis problem.
+
+use std::collections::BTreeSet;
+
+use crate::error::FabricError;
+
+/// Identifier of a node inside one [`Netlist`].
+///
+/// Ids are dense indices assigned by [`crate::builder::NetlistBuilder`];
+/// they are meaningless across netlists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One netlist node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Node {
+    /// A constant driver (`0` or `1`). Realised by tying a routing mux to
+    /// the fabric's constant rails, not by consuming a CLB.
+    Const(bool),
+    /// One bit of a named input port (the PFU datapath, *not* an IOB).
+    Input {
+        /// Index into [`Netlist::inputs`].
+        port: u16,
+        /// Bit position within the port.
+        bit: u16,
+    },
+    /// A 4-input lookup table. Unused inputs should be tied to a constant.
+    Lut {
+        /// Source node of each LUT input pin.
+        inputs: [NodeId; 4],
+        /// Truth table: bit `i` of `truth` is the output for input value
+        /// `i` (pin 0 is the least significant address bit).
+        truth: u16,
+    },
+    /// A D flip-flop, clocked by the single PFU clock.
+    Dff {
+        /// The node sampled on each clock edge.
+        d: NodeId,
+        /// Power-on / configuration-time value. This is the *state*
+        /// portion of the configuration (paper §4.1).
+        init: bool,
+    },
+}
+
+/// A named input port (a bundle of datapath wires entering the circuit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Port name, e.g. `"op_a"`.
+    pub name: String,
+    /// Number of bits.
+    pub width: u16,
+}
+
+/// A flat gate-level circuit.
+///
+/// Construct one with [`crate::builder::NetlistBuilder`]; the fields here
+/// are read-only views used by placement, encoding and simulation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Netlist {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) inputs: Vec<Port>,
+    pub(crate) outputs: Vec<(String, Vec<NodeId>)>,
+}
+
+impl Netlist {
+    /// All nodes, indexable by [`NodeId::index`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Declared input ports, in declaration order.
+    pub fn inputs(&self) -> &[Port] {
+        &self.inputs
+    }
+
+    /// Declared output buses: name plus the node driving each bit.
+    pub fn outputs(&self) -> &[(String, Vec<NodeId>)] {
+        &self.outputs
+    }
+
+    /// Number of LUT nodes.
+    pub fn lut_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, Node::Lut { .. })).count()
+    }
+
+    /// Number of flip-flop nodes (== number of state bits to save on a
+    /// context switch).
+    pub fn dff_count(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, Node::Dff { .. })).count()
+    }
+
+    /// Lower bound on CLBs needed: each CLB offers one LUT and one DFF, and
+    /// a DFF fed directly by a LUT can share that LUT's CLB.
+    pub fn clb_estimate(&self) -> usize {
+        let luts = self.lut_count();
+        let mut unpaired_dffs = 0usize;
+        let mut paired_luts: BTreeSet<u32> = BTreeSet::new();
+        for node in &self.nodes {
+            if let Node::Dff { d, .. } = node {
+                let feeds_from_lut = matches!(self.nodes[d.index()], Node::Lut { .. });
+                if feeds_from_lut && !paired_luts.contains(&d.0) {
+                    paired_luts.insert(d.0);
+                } else {
+                    unpaired_dffs += 1;
+                }
+            }
+        }
+        luts + unpaired_dffs
+    }
+
+    /// Validate structural invariants: every referenced node exists, port
+    /// references are in range, and the combinational graph is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::DanglingNode`] for out-of-range references and
+    /// [`FabricError::CombinationalCycle`] if combinational logic loops
+    /// without passing through a flip-flop.
+    pub fn check(&self) -> Result<(), FabricError> {
+        let n = self.nodes.len() as u32;
+        let check_ref = |id: NodeId| -> Result<(), FabricError> {
+            if id.0 >= n {
+                Err(FabricError::DanglingNode { node: id.0 })
+            } else {
+                Ok(())
+            }
+        };
+        for node in &self.nodes {
+            match node {
+                Node::Lut { inputs, .. } => {
+                    for &i in inputs {
+                        check_ref(i)?;
+                    }
+                }
+                Node::Dff { d, .. } => check_ref(*d)?,
+                Node::Input { port, .. } => {
+                    if *port as usize >= self.inputs.len() {
+                        return Err(FabricError::DanglingNode { node: u32::MAX });
+                    }
+                }
+                Node::Const(_) => {}
+            }
+        }
+        for (_, bits) in &self.outputs {
+            for &b in bits {
+                check_ref(b)?;
+            }
+        }
+        self.topo_order().map(|_| ())
+    }
+
+    /// Topological order of the *combinational* nodes (LUTs). Inputs,
+    /// constants and DFF outputs are sources; DFF `d` pins are sinks.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::CombinationalCycle`] if no such order exists.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>, FabricError> {
+        // Kahn's algorithm restricted to LUT->LUT edges.
+        let n = self.nodes.len();
+        let mut indegree = vec![0u32; n];
+        let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Node::Lut { inputs, .. } = node {
+                for &src in inputs {
+                    if matches!(self.nodes[src.index()], Node::Lut { .. }) {
+                        indegree[i] += 1;
+                        fanout[src.index()].push(i as u32);
+                    }
+                }
+            }
+        }
+        let mut queue: Vec<u32> = (0..n as u32)
+            .filter(|&i| matches!(self.nodes[i as usize], Node::Lut { .. }) && indegree[i as usize] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.lut_count());
+        while let Some(i) = queue.pop() {
+            order.push(NodeId(i));
+            for &next in &fanout[i as usize] {
+                indegree[next as usize] -= 1;
+                if indegree[next as usize] == 0 {
+                    queue.push(next);
+                }
+            }
+        }
+        if order.len() != self.lut_count() {
+            let stuck = (0..n)
+                .find(|&i| matches!(self.nodes[i], Node::Lut { .. }) && indegree[i] > 0)
+                .unwrap_or(0);
+            return Err(FabricError::CombinationalCycle { node: stuck as u32 });
+        }
+        Ok(order)
+    }
+
+    /// Verify that this netlist exposes the standard PFU interface used by
+    /// the Proteus datapath: inputs `op_a[32]`, `op_b[32]`, `init[1]`
+    /// (init may be omitted for purely combinational circuits) and outputs
+    /// `result[32]`, `done[1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::BadPort`] naming the first offending port.
+    pub fn check_pfu_interface(&self) -> Result<(), FabricError> {
+        let need_in = [("op_a", 32u16), ("op_b", 32)];
+        for (name, width) in need_in {
+            match self.inputs.iter().find(|p| p.name == name) {
+                Some(p) if p.width == width => {}
+                Some(p) => {
+                    return Err(FabricError::BadPort {
+                        name: name.to_string(),
+                        detail: format!("expected width {width}, found {}", p.width),
+                    })
+                }
+                None => {
+                    return Err(FabricError::BadPort {
+                        name: name.to_string(),
+                        detail: "missing input port".to_string(),
+                    })
+                }
+            }
+        }
+        if let Some(p) = self.inputs.iter().find(|p| p.name == "init") {
+            if p.width != 1 {
+                return Err(FabricError::BadPort {
+                    name: "init".to_string(),
+                    detail: format!("expected width 1, found {}", p.width),
+                });
+            }
+        }
+        let need_out = [("result", 32usize), ("done", 1)];
+        for (name, width) in need_out {
+            match self.outputs.iter().find(|(n, _)| n == name) {
+                Some((_, bits)) if bits.len() == width => {}
+                Some((_, bits)) => {
+                    return Err(FabricError::BadPort {
+                        name: name.to_string(),
+                        detail: format!("expected width {width}, found {}", bits.len()),
+                    })
+                }
+                None => {
+                    return Err(FabricError::BadPort {
+                        name: name.to_string(),
+                        detail: "missing output port".to_string(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn empty_netlist_checks() {
+        let n = Netlist::default();
+        assert!(n.check().is_ok());
+        assert_eq!(n.lut_count(), 0);
+        assert_eq!(n.dff_count(), 0);
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        // Hand-build a 2-LUT combinational loop.
+        let n = Netlist {
+            nodes: vec![
+                Node::Lut { inputs: [NodeId(1); 4], truth: 0xAAAA },
+                Node::Lut { inputs: [NodeId(0); 4], truth: 0xAAAA },
+            ],
+            inputs: vec![],
+            outputs: vec![],
+        };
+        assert!(matches!(n.check(), Err(FabricError::CombinationalCycle { .. })));
+    }
+
+    #[test]
+    fn dff_breaks_cycle() {
+        // LUT -> DFF -> LUT is legal.
+        let n = Netlist {
+            nodes: vec![
+                Node::Const(false),
+                Node::Lut { inputs: [NodeId(2), NodeId(0), NodeId(0), NodeId(0)], truth: 0x5555 },
+                Node::Dff { d: NodeId(1), init: false },
+            ],
+            inputs: vec![],
+            outputs: vec![],
+        };
+        assert!(n.check().is_ok());
+    }
+
+    #[test]
+    fn dangling_reference_is_detected() {
+        let n = Netlist {
+            nodes: vec![Node::Dff { d: NodeId(7), init: false }],
+            inputs: vec![],
+            outputs: vec![],
+        };
+        assert!(matches!(n.check(), Err(FabricError::DanglingNode { node: 7 })));
+    }
+
+    #[test]
+    fn clb_estimate_pairs_dff_with_driving_lut() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input_bus("op_a", 2);
+        let x = b.and2(a[0], a[1]);
+        let q = b.dff(x, false);
+        b.output_bit("result", q);
+        let n = b.finish_unchecked();
+        // One LUT + one DFF fed by it = one CLB.
+        assert_eq!(n.clb_estimate(), 1);
+    }
+
+    #[test]
+    fn pfu_interface_check_flags_missing_done() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input_bus("op_a", 32);
+        let c = b.input_bus("op_b", 32);
+        let s = b.add(&a, &c);
+        b.output_bus("result", &s);
+        let n = b.finish_unchecked();
+        assert!(matches!(
+            n.check_pfu_interface(),
+            Err(FabricError::BadPort { ref name, .. }) if name == "done"
+        ));
+    }
+}

@@ -1,0 +1,207 @@
+//! Reference netlist simulator.
+//!
+//! [`NetlistSim`] evaluates a [`Netlist`] directly: combinational settling
+//! via a precomputed topological order, then an explicit clock edge that
+//! latches every flip-flop. The [`crate::device::Device`] simulator runs
+//! from a *decoded bitstream* instead; tests assert the two agree, which
+//! exercises the whole place → encode → decode path.
+
+use std::collections::HashMap;
+
+use crate::error::FabricError;
+use crate::netlist::{Netlist, Node, NodeId};
+
+/// Event-free two-phase simulator for a netlist.
+#[derive(Debug, Clone)]
+pub struct NetlistSim {
+    netlist: Netlist,
+    order: Vec<NodeId>,
+    values: Vec<bool>,
+    dff_state: Vec<bool>,
+    input_index: HashMap<String, u16>,
+}
+
+impl NetlistSim {
+    /// Build a simulator. Computes the combinational evaluation order once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Netlist::check`] failures (dangling nodes,
+    /// combinational cycles).
+    pub fn new(netlist: &Netlist) -> Result<Self, FabricError> {
+        netlist.check()?;
+        let order = netlist.topo_order()?;
+        let values = vec![false; netlist.nodes().len()];
+        let dff_state = netlist
+            .nodes()
+            .iter()
+            .filter_map(|n| match n {
+                Node::Dff { init, .. } => Some(*init),
+                _ => None,
+            })
+            .collect();
+        let input_index = netlist
+            .inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.name.clone(), i as u16))
+            .collect();
+        Ok(Self { netlist: netlist.clone(), order, values, dff_state, input_index })
+    }
+
+    /// Set a named input port from the low bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port does not exist.
+    pub fn set_input(&mut self, name: &str, value: u64) {
+        let port = *self
+            .input_index
+            .get(name)
+            .unwrap_or_else(|| panic!("no input port named `{name}`"));
+        for (i, node) in self.netlist.nodes().iter().enumerate() {
+            if let Node::Input { port: p, bit } = node {
+                if *p == port {
+                    self.values[i] = (value >> bit) & 1 == 1;
+                }
+            }
+        }
+    }
+
+    /// Propagate combinational logic until stable (one pass over the
+    /// topological order suffices).
+    pub fn settle(&mut self) {
+        // Sources first: constants and DFF outputs.
+        let mut dff_i = 0usize;
+        for (i, node) in self.netlist.nodes().iter().enumerate() {
+            match node {
+                Node::Const(v) => self.values[i] = *v,
+                Node::Dff { .. } => {
+                    self.values[i] = self.dff_state[dff_i];
+                    dff_i += 1;
+                }
+                _ => {}
+            }
+        }
+        for &id in &self.order {
+            if let Node::Lut { inputs, truth } = self.netlist.nodes()[id.index()] {
+                let mut addr = 0usize;
+                for (pin, src) in inputs.iter().enumerate() {
+                    if self.values[src.index()] {
+                        addr |= 1 << pin;
+                    }
+                }
+                self.values[id.index()] = (truth >> addr) & 1 == 1;
+            }
+        }
+    }
+
+    /// Latch every flip-flop from its (settled) `d` input.
+    ///
+    /// Call [`Self::settle`] first so combinational values are current.
+    pub fn clock_edge(&mut self) {
+        let mut dff_i = 0usize;
+        for node in self.netlist.nodes() {
+            if let Node::Dff { d, .. } = node {
+                self.dff_state[dff_i] = self.values[d.index()];
+                dff_i += 1;
+            }
+        }
+    }
+
+    /// Read a named output bus as an integer (bit 0 = element 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output does not exist.
+    pub fn output(&self, name: &str) -> u64 {
+        let (_, bits) = self
+            .netlist
+            .outputs()
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("no output port named `{name}`"));
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, b)| acc | (u64::from(self.values[b.index()]) << i))
+    }
+
+    /// Current flip-flop state, in netlist DFF order. This is exactly what
+    /// the *state frames* of a bitstream capture.
+    pub fn dff_state(&self) -> &[bool] {
+        &self.dff_state
+    }
+
+    /// Overwrite the flip-flop state (restoring a context).
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::StateMismatch`] if the length differs from the
+    /// number of flip-flops.
+    pub fn set_dff_state(&mut self, state: &[bool]) -> Result<(), FabricError> {
+        if state.len() != self.dff_state.len() {
+            return Err(FabricError::StateMismatch {
+                detail: format!("have {} DFFs, got {} bits", self.dff_state.len(), state.len()),
+            });
+        }
+        self.dff_state.copy_from_slice(state);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn xor_network_settles() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input_bus("op_a", 4);
+        let c = b.input_bus("op_b", 4);
+        let x = b.xor_bus(&a, &c);
+        b.output_bus("result", &x);
+        let n = b.finish().expect("netlist");
+        let mut sim = NetlistSim::new(&n).expect("sim");
+        sim.set_input("op_a", 0b1100);
+        sim.set_input("op_b", 0b1010);
+        sim.settle();
+        assert_eq!(sim.output("result"), 0b0110);
+    }
+
+    #[test]
+    fn dff_state_save_restore_roundtrips() {
+        let mut b = NetlistBuilder::new();
+        let en = b.input_bit("op_a");
+        let cnt = b.counter(4, en);
+        b.output_bus("result", &cnt);
+        let n = b.finish().expect("netlist");
+        let mut sim = NetlistSim::new(&n).expect("sim");
+        sim.set_input("op_a", 1);
+        for _ in 0..5 {
+            sim.settle();
+            sim.clock_edge();
+        }
+        let saved = sim.dff_state().to_vec();
+        for _ in 0..3 {
+            sim.settle();
+            sim.clock_edge();
+        }
+        sim.settle();
+        assert_eq!(sim.output("result"), 8);
+        sim.set_dff_state(&saved).expect("restore");
+        sim.settle();
+        assert_eq!(sim.output("result"), 5);
+    }
+
+    #[test]
+    fn set_dff_state_rejects_wrong_length() {
+        let mut b = NetlistBuilder::new();
+        let a = b.input_bit("op_a");
+        let q = b.dff(a, false);
+        b.output_bit("result", q);
+        let n = b.finish().expect("netlist");
+        let mut sim = NetlistSim::new(&n).expect("sim");
+        assert!(sim.set_dff_state(&[true, false]).is_err());
+    }
+}

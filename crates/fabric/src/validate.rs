@@ -1,0 +1,158 @@
+//! Bitstream validation — the security story of the fabric.
+//!
+//! The paper (§2, §4.1) identifies two security obligations for an OS that
+//! accepts configurations from untrusted applications: physical safety and
+//! functional safety. The Proteus fabric discharges the physical half by
+//! construction — there are no IOBs to drive pins with, and mux-based
+//! routing cannot express two drivers on one wire — but the OS still
+//! validates every bitstream before loading so that a corrupt or hostile
+//! configuration is rejected, not just rendered harmless.
+//!
+//! Checks performed here:
+//!
+//! * every routing selector decodes and stays within the fabric/port range
+//!   (a selector outside its mux's input count would float a wire on real
+//!   silicon);
+//! * used LUTs/DFFs only reference CLBs that exist;
+//! * reserved frame words are zero (enforced at decode);
+//! * there is no combinational routing loop (enforced at device load);
+//! * the interface descriptor is self-consistent.
+
+use crate::bitstream::{decode_source, Bitstream, Selector};
+use crate::error::FabricError;
+use crate::place::SourceRef;
+
+/// Validate a bitstream against its own declared dimensions and ports.
+///
+/// [`crate::device::Device::load`] calls this automatically; it is public
+/// so the OS can vet a configuration at registration time, long before any
+/// load is attempted.
+///
+/// # Errors
+///
+/// [`FabricError::MalformedBitstream`] describing the first defect found.
+pub fn validate(bitstream: &Bitstream) -> Result<(), FabricError> {
+    let n_clbs = bitstream.dims().clbs();
+    let check_sel = |sel: Selector, context: &str| -> Result<(), FabricError> {
+        let src = decode_source(sel)?;
+        match src {
+            SourceRef::Const(_) => Ok(()),
+            SourceRef::Port(port, bit) => {
+                let p = bitstream.inputs().get(port as usize).ok_or_else(|| {
+                    FabricError::MalformedBitstream {
+                        detail: format!("{context}: selector references missing port {port}"),
+                    }
+                })?;
+                if bit >= p.width {
+                    return Err(FabricError::MalformedBitstream {
+                        detail: format!(
+                            "{context}: selector references bit {bit} of {}-bit port `{}`",
+                            p.width, p.name
+                        ),
+                    });
+                }
+                Ok(())
+            }
+            SourceRef::ClbLut(clb) | SourceRef::ClbDff(clb) => {
+                if clb as usize >= n_clbs {
+                    return Err(FabricError::MalformedBitstream {
+                        detail: format!("{context}: selector references missing CLB {clb}"),
+                    });
+                }
+                let cfg = &bitstream.clbs()[clb as usize];
+                let used = match src {
+                    SourceRef::ClbLut(_) => cfg.lut_used,
+                    _ => cfg.dff_used,
+                };
+                if !used {
+                    return Err(FabricError::MalformedBitstream {
+                        detail: format!("{context}: selector reads unused resource in CLB {clb}"),
+                    });
+                }
+                Ok(())
+            }
+        }
+    };
+
+    for (i, clb) in bitstream.clbs().iter().enumerate() {
+        if clb.lut_used {
+            for (pin, &sel) in clb.pin_src.iter().enumerate() {
+                check_sel(sel, &format!("CLB {i} LUT pin {pin}"))?;
+            }
+        }
+        if clb.dff_used {
+            check_sel(clb.dff_src, &format!("CLB {i} DFF"))?;
+        }
+    }
+    for (name, sels) in bitstream.outputs() {
+        if sels.is_empty() {
+            return Err(FabricError::MalformedBitstream {
+                detail: format!("output `{name}` has zero width"),
+            });
+        }
+        for &sel in sels {
+            check_sel(sel, &format!("output `{name}`"))?;
+        }
+    }
+    if bitstream.initial_state().bits.len() != n_clbs {
+        return Err(FabricError::MalformedBitstream {
+            detail: "state frames do not cover the fabric".to_string(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitstream::{encode_source, Bitstream};
+    use crate::builder::NetlistBuilder;
+    use crate::compile;
+    use crate::place::{FabricDims, SourceRef};
+
+    fn good() -> Bitstream {
+        let mut b = NetlistBuilder::new();
+        let a = b.input_bus("op_a", 8);
+        let c = b.input_bus("op_b", 8);
+        let x = b.xor_bus(&a, &c);
+        b.output_bus("result", &x);
+        let n = b.finish().expect("netlist");
+        compile(&n, FabricDims::PFU).expect("compile").into_bitstream()
+    }
+
+    #[test]
+    fn valid_bitstream_passes() {
+        assert!(validate(&good()).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_clb_selector_rejected() {
+        let bs = good();
+        let mut words = bs.to_words();
+        // Corrupt the first used LUT's pin 0 selector to point past the
+        // fabric. Static frames start at word 2; pin selectors at +2.
+        let frame0 = 2usize;
+        words[frame0 + 2] = encode_source(SourceRef::ClbLut(9999));
+        // Must re-mark CLB 0 as used for the check to fire; it already is
+        // (first CLB hosts a LUT in this design).
+        let bs2 = Bitstream::from_words(&words).expect("structurally fine");
+        assert!(validate(&bs2).is_err());
+    }
+
+    #[test]
+    fn selector_to_missing_port_bit_rejected() {
+        let bs = good();
+        let mut words = bs.to_words();
+        words[2 + 2] = encode_source(SourceRef::Port(0, 31)); // op_a is 8 bits
+        let bs2 = Bitstream::from_words(&words).expect("structurally fine");
+        assert!(validate(&bs2).is_err());
+    }
+
+    #[test]
+    fn reserved_words_must_be_zero() {
+        let bs = good();
+        let mut words = bs.to_words();
+        words[2 + 8] = 0xFFFF_FFFF; // word 8 of frame 0 is reserved
+        assert!(Bitstream::from_words(&words).is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! The highest-fidelity integration test: schedule a *gate-level*
+//! circuit. The alpha-blend channel netlist is compiled to a bitstream,
+//! hosted in a PFU as a [`NetlistCircuit`], evicted and reloaded by the
+//! CIS mid-run — and the guest's results must still match the
+//! arithmetic reference, proving that the state-frame machinery carries
+//! real hardware state through the scheduler.
+
+use porsche::kernel::{KernelConfig, SpawnSpec};
+use porsche::process::CircuitSpec;
+use proteus::machine::{Machine, MachineConfig};
+use proteus_fabric::library::{alpha_blend_channel, alpha_blend_ref};
+use proteus_fabric::place::FabricDims;
+use proteus_fabric::compile;
+use proteus_rfu::{NetlistCircuit, RfuConfig};
+
+fn gate_level_blend_circuit() -> NetlistCircuit {
+    let netlist = alpha_blend_channel().expect("netlist");
+    let compiled = compile(&netlist, FabricDims::PFU).expect("compile");
+    NetlistCircuit::new(compiled.bitstream()).expect("circuit")
+}
+
+/// Guest program blending a small channel buffer with the single-channel
+/// interface (`op_a` = src | alpha<<8, `op_b` = dst), then exiting with
+/// a checksum.
+fn blend_program(n: usize) -> (proteus_isa::Program, u32) {
+    let src: Vec<u32> = (0..n).map(|i| (i as u32 * 37) & 0xFF).collect();
+    let alpha: Vec<u32> = (0..n).map(|i| (i as u32 * 91 + 13) & 0xFF).collect();
+    let dst: Vec<u32> = (0..n).map(|i| (i as u32 * 53 + 7) & 0xFF).collect();
+    let mut source = String::from(".org 0\n");
+    let mut push_words = |label: &str, data: &[u32]| {
+        source.push_str(&format!("{label}:\n"));
+        for w in data {
+            source.push_str(&format!("    .word {w}\n"));
+        }
+    };
+    push_words("src", &src);
+    push_words("alpha", &alpha);
+    push_words("dst", &dst);
+    source.push_str(&format!(
+        "start:\n\
+         \x20   ldr r0, =src\n\
+         \x20   ldr r1, =alpha\n\
+         \x20   ldr r2, =dst\n\
+         \x20   ldr r3, ={n}\n\
+         \x20   mov r8, #0\n\
+         loop:\n\
+         \x20   ldr r4, [r0], #4\n\
+         \x20   ldr r5, [r1], #4\n\
+         \x20   orr r4, r4, r5, lsl #8\n\
+         \x20   ldr r5, [r2], #4\n\
+         \x20   pfu 0, r6, r4, r5\n\
+         \x20   add r8, r8, r6\n\
+         \x20   subs r3, r3, #1\n\
+         \x20   bne loop\n\
+         \x20   mov r0, r8\n\
+         \x20   swi #0\n"
+    ));
+    let expected = src
+        .iter()
+        .zip(&alpha)
+        .zip(&dst)
+        .fold(0u32, |acc, ((&s, &a), &d)| {
+            acc.wrapping_add(u32::from(alpha_blend_ref(s as u8, d as u8, a as u8)))
+        });
+    (proteus_isa::assemble(&source).expect("asm"), expected)
+}
+
+#[test]
+fn gate_level_circuit_survives_scheduling_and_eviction() {
+    let (program, expected) = blend_program(600);
+    let entry = program.symbol("start").expect("start");
+    // One PFU, two processes using gate-level circuits: constant
+    // eviction pressure at a tiny quantum, interrupting blends mid-flight.
+    let mut machine = Machine::new(MachineConfig {
+        kernel: KernelConfig { quantum: 500, ..KernelConfig::default() },
+        rfu: RfuConfig { pfus: 1, ..RfuConfig::default() },
+    });
+    let mut pids = Vec::new();
+    for _ in 0..2 {
+        let pid = machine
+            .spawn(SpawnSpec::new(&program).entry(entry).circuit(CircuitSpec {
+                cid: 0,
+                circuit: Box::new(gate_level_blend_circuit()),
+                software_alt: None, image: None }))
+            .expect("spawn");
+        pids.push(pid);
+    }
+    let report = machine.run(2_000_000_000).expect("run");
+    assert!(report.killed.is_empty(), "{report:?}");
+    for pid in pids {
+        let (_, _, code) = report.exited.iter().find(|(p, _, _)| *p == pid).expect("exited");
+        assert_eq!(*code, expected, "pid {pid}");
+    }
+    assert!(report.stats.evictions > 0, "the whole point is eviction pressure: {:?}", report.stats);
+}
+
+#[test]
+fn gate_level_and_behavioral_models_agree_under_the_kernel() {
+    let (program, expected) = blend_program(32);
+    let entry = program.symbol("start").expect("start");
+    // Behavioral 2-cycle model of the same channel blend.
+    let behavioral = proteus_rfu::behavioral::FixedLatency::new("alpha_chan", 2, 16, |a, b| {
+        u32::from(alpha_blend_ref((a & 0xFF) as u8, (b & 0xFF) as u8, ((a >> 8) & 0xFF) as u8))
+    });
+    for circuit in [
+        Box::new(gate_level_blend_circuit()) as Box<dyn proteus_rfu::PfuCircuit>,
+        Box::new(behavioral),
+    ] {
+        let mut machine = Machine::new(MachineConfig::default());
+        machine
+            .spawn(
+                SpawnSpec::new(&program)
+                    .entry(entry)
+                    .circuit(CircuitSpec { cid: 0, circuit, software_alt: None, image: None }),
+            )
+            .expect("spawn");
+        let report = machine.run(1_000_000_000).expect("run");
+        assert_eq!(report.exited[0].2, expected);
+    }
+}

@@ -1,0 +1,83 @@
+//! `pasm` — assemble ProteanARM source to a flat binary image.
+//!
+//! ```text
+//! pasm <input.s> [-o out.bin] [--hex] [--symbols]
+//! ```
+//!
+//! With `--hex` the output is one word per line in hex (easy to diff);
+//! otherwise a little-endian flat binary is written. `--symbols` prints
+//! the symbol table to stderr.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use proteus_isa::assemble;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut output = None;
+    let mut hex = false;
+    let mut symbols = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => output = it.next().cloned(),
+            "--hex" => hex = true,
+            "--symbols" => symbols = true,
+            "-h" | "--help" => {
+                eprintln!("usage: pasm <input.s> [-o out.bin] [--hex] [--symbols]");
+                return ExitCode::SUCCESS;
+            }
+            other => input = Some(other.to_string()),
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("pasm: no input file (try --help)");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pasm: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match assemble(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("pasm: {input}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if symbols {
+        let mut syms: Vec<_> = program.symbols().iter().collect();
+        syms.sort_by_key(|(_, &a)| a);
+        for (name, addr) in syms {
+            eprintln!("{addr:#010x} {name}");
+        }
+    }
+    let out_path = output.unwrap_or_else(|| format!("{input}.bin"));
+    let result = if hex {
+        let text: String =
+            program.words().iter().map(|w| format!("{w:08x}\n")).collect();
+        std::fs::write(&out_path, text)
+    } else {
+        let mut bytes = Vec::with_capacity(program.byte_len());
+        for w in program.words() {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        std::fs::write(&out_path, bytes)
+    };
+    if let Err(e) = result {
+        eprintln!("pasm: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let _ = writeln!(
+        std::io::stderr(),
+        "pasm: {} words at origin {:#x} -> {out_path}",
+        program.words().len(),
+        program.origin()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,97 @@
+//! `pdis` — disassemble a flat ProteanARM binary image.
+//!
+//! ```text
+//! pdis <image.bin> [--org <addr>] [--hex]
+//! ```
+//!
+//! `--hex` treats the input as one hex word per line (the `pasm --hex`
+//! format). Words that do not decode are printed as `.word`.
+
+use std::process::ExitCode;
+
+use proteus_isa::decode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input = None;
+    let mut org = 0u32;
+    let mut hex = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--org" => {
+                let Some(v) = it.next().and_then(|s| parse_u32(s)) else {
+                    eprintln!("pdis: bad --org value");
+                    return ExitCode::FAILURE;
+                };
+                org = v;
+            }
+            "--hex" => hex = true,
+            "-h" | "--help" => {
+                eprintln!("usage: pdis <image.bin> [--org <addr>] [--hex]");
+                return ExitCode::SUCCESS;
+            }
+            other => input = Some(other.to_string()),
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("pdis: no input file (try --help)");
+        return ExitCode::FAILURE;
+    };
+    let words: Vec<u32> = if hex {
+        match std::fs::read_to_string(&input) {
+            Ok(text) => {
+                let mut ws = Vec::new();
+                for (i, line) in text.lines().enumerate() {
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    match u32::from_str_radix(line.trim_start_matches("0x"), 16) {
+                        Ok(w) => ws.push(w),
+                        Err(e) => {
+                            eprintln!("pdis: {input}:{}: {e}", i + 1);
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                ws
+            }
+            Err(e) => {
+                eprintln!("pdis: cannot read {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match std::fs::read(&input) {
+            Ok(bytes) => bytes
+                .chunks(4)
+                .map(|c| {
+                    let mut w = [0u8; 4];
+                    w[..c.len()].copy_from_slice(c);
+                    u32::from_le_bytes(w)
+                })
+                .collect(),
+            Err(e) => {
+                eprintln!("pdis: cannot read {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    for (i, &word) in words.iter().enumerate() {
+        let addr = org.wrapping_add(i as u32 * 4);
+        match decode(word) {
+            Ok(instr) => println!("{addr:#010x}:  {word:08x}  {instr}"),
+            Err(_) => println!("{addr:#010x}:  {word:08x}  .word {word:#x}"),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_u32(s: &str) -> Option<u32> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}

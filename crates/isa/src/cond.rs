@@ -1,0 +1,173 @@
+//! Condition codes.
+
+use std::fmt;
+
+/// ARM-style condition code attached to every instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Cond {
+    /// Equal (`Z`).
+    Eq,
+    /// Not equal (`!Z`).
+    Ne,
+    /// Carry set / unsigned higher-or-same (`C`).
+    Cs,
+    /// Carry clear / unsigned lower (`!C`).
+    Cc,
+    /// Negative (`N`).
+    Mi,
+    /// Positive or zero (`!N`).
+    Pl,
+    /// Overflow (`V`).
+    Vs,
+    /// No overflow (`!V`).
+    Vc,
+    /// Unsigned higher (`C && !Z`).
+    Hi,
+    /// Unsigned lower or same (`!C || Z`).
+    Ls,
+    /// Signed greater or equal (`N == V`).
+    Ge,
+    /// Signed less (`N != V`).
+    Lt,
+    /// Signed greater (`!Z && N == V`).
+    Gt,
+    /// Signed less or equal (`Z || N != V`).
+    Le,
+    /// Always.
+    #[default]
+    Al,
+}
+
+impl Cond {
+    /// All conditions in encoding order.
+    pub const ALL: [Cond; 15] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Cs,
+        Cond::Cc,
+        Cond::Mi,
+        Cond::Pl,
+        Cond::Vs,
+        Cond::Vc,
+        Cond::Hi,
+        Cond::Ls,
+        Cond::Ge,
+        Cond::Lt,
+        Cond::Gt,
+        Cond::Le,
+        Cond::Al,
+    ];
+
+    /// 4-bit encoding.
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// Decode from the 4-bit field.
+    ///
+    /// Returns `None` for the reserved value 15.
+    pub fn from_bits(bits: u32) -> Option<Cond> {
+        Cond::ALL.get(bits as usize).copied()
+    }
+
+    /// Evaluate against the four CPSR flags.
+    pub fn passes(self, n: bool, z: bool, c: bool, v: bool) -> bool {
+        match self {
+            Cond::Eq => z,
+            Cond::Ne => !z,
+            Cond::Cs => c,
+            Cond::Cc => !c,
+            Cond::Mi => n,
+            Cond::Pl => !n,
+            Cond::Vs => v,
+            Cond::Vc => !v,
+            Cond::Hi => c && !z,
+            Cond::Ls => !c || z,
+            Cond::Ge => n == v,
+            Cond::Lt => n != v,
+            Cond::Gt => !z && n == v,
+            Cond::Le => z || n != v,
+            Cond::Al => true,
+        }
+    }
+
+    /// Assembler suffix (`""` for [`Cond::Al`]).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Cs => "cs",
+            Cond::Cc => "cc",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+            Cond::Vs => "vs",
+            Cond::Vc => "vc",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+            Cond::Al => "",
+        }
+    }
+
+    /// Parse an assembler suffix; `""` yields [`Cond::Al`].
+    pub fn from_suffix(s: &str) -> Option<Cond> {
+        match s {
+            "" | "al" => Some(Cond::Al),
+            "eq" => Some(Cond::Eq),
+            "ne" => Some(Cond::Ne),
+            "cs" | "hs" => Some(Cond::Cs),
+            "cc" | "lo" => Some(Cond::Cc),
+            "mi" => Some(Cond::Mi),
+            "pl" => Some(Cond::Pl),
+            "vs" => Some(Cond::Vs),
+            "vc" => Some(Cond::Vc),
+            "hi" => Some(Cond::Hi),
+            "ls" => Some(Cond::Ls),
+            "ge" => Some(Cond::Ge),
+            "lt" => Some(Cond::Lt),
+            "gt" => Some(Cond::Gt),
+            "le" => Some(Cond::Le),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_roundtrip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_bits(c.bits()), Some(c));
+        }
+        assert_eq!(Cond::from_bits(15), None);
+    }
+
+    #[test]
+    fn suffix_roundtrip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_suffix(c.suffix()), Some(c));
+        }
+    }
+
+    #[test]
+    fn semantics_spot_checks() {
+        assert!(Cond::Eq.passes(false, true, false, false));
+        assert!(!Cond::Eq.passes(false, false, false, false));
+        assert!(Cond::Hi.passes(false, false, true, false));
+        assert!(!Cond::Hi.passes(false, true, true, false));
+        assert!(Cond::Lt.passes(true, false, false, false));
+        assert!(Cond::Lt.passes(false, false, false, true));
+        assert!(Cond::Al.passes(true, true, true, true));
+    }
+}

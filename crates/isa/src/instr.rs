@@ -1,0 +1,589 @@
+//! Instruction types and their assembly syntax ([`std::fmt::Display`]
+//! doubles as the disassembler).
+
+use std::fmt;
+
+use crate::cond::Cond;
+use crate::regs::Reg;
+
+/// Data-processing opcodes (ARM's classic sixteen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DpOp {
+    /// Bitwise AND.
+    And,
+    /// Bitwise exclusive OR.
+    Eor,
+    /// Subtract.
+    Sub,
+    /// Reverse subtract (`op2 - rn`).
+    Rsb,
+    /// Add.
+    Add,
+    /// Add with carry.
+    Adc,
+    /// Subtract with carry.
+    Sbc,
+    /// Reverse subtract with carry.
+    Rsc,
+    /// Test (AND, flags only).
+    Tst,
+    /// Test equivalence (EOR, flags only).
+    Teq,
+    /// Compare (SUB, flags only).
+    Cmp,
+    /// Compare negated (ADD, flags only).
+    Cmn,
+    /// Bitwise OR.
+    Orr,
+    /// Move.
+    Mov,
+    /// Bit clear (`rn & !op2`).
+    Bic,
+    /// Move NOT.
+    Mvn,
+}
+
+impl DpOp {
+    /// All opcodes in encoding order.
+    pub const ALL: [DpOp; 16] = [
+        DpOp::And,
+        DpOp::Eor,
+        DpOp::Sub,
+        DpOp::Rsb,
+        DpOp::Add,
+        DpOp::Adc,
+        DpOp::Sbc,
+        DpOp::Rsc,
+        DpOp::Tst,
+        DpOp::Teq,
+        DpOp::Cmp,
+        DpOp::Cmn,
+        DpOp::Orr,
+        DpOp::Mov,
+        DpOp::Bic,
+        DpOp::Mvn,
+    ];
+
+    /// The 4-bit encoding.
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// Decode the 4-bit field.
+    pub fn from_bits(bits: u32) -> DpOp {
+        DpOp::ALL[(bits & 0xF) as usize]
+    }
+
+    /// True for TST/TEQ/CMP/CMN, which have no destination and always set
+    /// flags.
+    pub fn is_test(self) -> bool {
+        matches!(self, DpOp::Tst | DpOp::Teq | DpOp::Cmp | DpOp::Cmn)
+    }
+
+    /// True for MOV/MVN, which have no first operand.
+    pub fn is_move(self) -> bool {
+        matches!(self, DpOp::Mov | DpOp::Mvn)
+    }
+
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            DpOp::And => "and",
+            DpOp::Eor => "eor",
+            DpOp::Sub => "sub",
+            DpOp::Rsb => "rsb",
+            DpOp::Add => "add",
+            DpOp::Adc => "adc",
+            DpOp::Sbc => "sbc",
+            DpOp::Rsc => "rsc",
+            DpOp::Tst => "tst",
+            DpOp::Teq => "teq",
+            DpOp::Cmp => "cmp",
+            DpOp::Cmn => "cmn",
+            DpOp::Orr => "orr",
+            DpOp::Mov => "mov",
+            DpOp::Bic => "bic",
+            DpOp::Mvn => "mvn",
+        }
+    }
+}
+
+/// Barrel-shifter operation applied to a register operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ShiftKind {
+    /// Logical shift left.
+    #[default]
+    Lsl,
+    /// Logical shift right.
+    Lsr,
+    /// Arithmetic shift right.
+    Asr,
+    /// Rotate right.
+    Ror,
+}
+
+impl ShiftKind {
+    /// 2-bit encoding.
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// Decode the 2-bit field.
+    pub fn from_bits(bits: u32) -> ShiftKind {
+        [ShiftKind::Lsl, ShiftKind::Lsr, ShiftKind::Asr, ShiftKind::Ror][(bits & 3) as usize]
+    }
+
+    /// Assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftKind::Lsl => "lsl",
+            ShiftKind::Lsr => "lsr",
+            ShiftKind::Asr => "asr",
+            ShiftKind::Ror => "ror",
+        }
+    }
+}
+
+/// An immediate-amount barrel shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Shift {
+    /// Shift operation.
+    pub kind: ShiftKind,
+    /// Amount, 0–31.
+    pub amount: u8,
+}
+
+impl Shift {
+    /// No shift at all.
+    pub const NONE: Shift = Shift { kind: ShiftKind::Lsl, amount: 0 };
+}
+
+/// The flexible second operand of data-processing instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand2 {
+    /// 8-bit immediate rotated right by `2 × rot` (ARM's imm8/rot4 form).
+    Imm {
+        /// Base value.
+        value: u8,
+        /// Rotation count (0–15), applied as `ror (2 × rot)`.
+        rot: u8,
+    },
+    /// Register, optionally shifted by an immediate amount.
+    Reg {
+        /// Source register.
+        reg: Reg,
+        /// Barrel-shifter setting.
+        shift: Shift,
+    },
+}
+
+impl Operand2 {
+    /// Plain (unshifted) register operand.
+    pub fn reg(reg: Reg) -> Operand2 {
+        Operand2::Reg { reg, shift: Shift::NONE }
+    }
+
+    /// Encode a 32-bit constant as imm8/rot4 if possible.
+    pub fn try_imm(value: u32) -> Option<Operand2> {
+        for rot in 0..16u8 {
+            let unrotated = value.rotate_left(u32::from(rot) * 2);
+            if unrotated <= 0xFF {
+                return Some(Operand2::Imm { value: unrotated as u8, rot });
+            }
+        }
+        None
+    }
+
+    /// The constant an immediate operand denotes.
+    pub fn imm_value(value: u8, rot: u8) -> u32 {
+        u32::from(value).rotate_right(u32::from(rot) * 2)
+    }
+}
+
+impl fmt::Display for Operand2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Operand2::Imm { value, rot } => {
+                write!(f, "#{}", Operand2::imm_value(value, rot))
+            }
+            Operand2::Reg { reg, shift } => {
+                if shift.amount == 0 {
+                    write!(f, "{reg}")
+                } else {
+                    write!(f, "{reg}, {} #{}", shift.kind.mnemonic(), shift.amount)
+                }
+            }
+        }
+    }
+}
+
+/// Memory access direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOp {
+    /// Load.
+    Ldr,
+    /// Store.
+    Str,
+}
+
+/// Address offset for single-register loads and stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemOffset {
+    /// Immediate byte offset (0–2047), added or subtracted per `up`.
+    Imm(u16),
+    /// Register offset, optionally shifted.
+    Reg(Reg, Shift),
+}
+
+/// Block-transfer direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockOp {
+    /// Load multiple.
+    Ldm,
+    /// Store multiple.
+    Stm,
+}
+
+/// Which latched software-dispatch operand `ldop` reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandSel {
+    /// First source operand (`rn` of the faulting `pfu`).
+    A,
+    /// Second source operand (`rm`).
+    B,
+}
+
+impl OperandSel {
+    /// 4-bit encoding.
+    pub fn bits(self) -> u32 {
+        match self {
+            OperandSel::A => 0,
+            OperandSel::B => 1,
+        }
+    }
+
+    /// Decode.
+    pub fn from_bits(bits: u32) -> Option<OperandSel> {
+        match bits & 0xF {
+            0 => Some(OperandSel::A),
+            1 => Some(OperandSel::B),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Data-processing (ALU) instruction.
+    DataProc {
+        /// Opcode.
+        op: DpOp,
+        /// Condition.
+        cond: Cond,
+        /// Set flags.
+        s: bool,
+        /// Destination (ignored for tests).
+        rd: Reg,
+        /// First operand (ignored for moves).
+        rn: Reg,
+        /// Second operand.
+        op2: Operand2,
+    },
+    /// Multiply / multiply-accumulate.
+    Mul {
+        /// Condition.
+        cond: Cond,
+        /// Set flags.
+        s: bool,
+        /// Destination.
+        rd: Reg,
+        /// Multiplicand.
+        rm: Reg,
+        /// Multiplier.
+        rs: Reg,
+        /// Accumulator (MLA) or `None` (MUL).
+        acc: Option<Reg>,
+    },
+    /// Single-register load/store (word or byte).
+    Mem {
+        /// Load or store.
+        op: MemOp,
+        /// Condition.
+        cond: Cond,
+        /// Byte access.
+        byte: bool,
+        /// Data register.
+        rd: Reg,
+        /// Base register.
+        rn: Reg,
+        /// Offset.
+        offset: MemOffset,
+        /// Offset added (true) or subtracted.
+        up: bool,
+        /// Pre-indexed (offset applied before access).
+        pre: bool,
+        /// Write the effective address back to `rn`.
+        writeback: bool,
+    },
+    /// Block transfer (LDM/STM). Addressing is `IA` for loads after
+    /// `pop`-style use and `DB` for stores (`push`), selected by `before`.
+    Block {
+        /// Load or store.
+        op: BlockOp,
+        /// Condition.
+        cond: Cond,
+        /// Base register.
+        rn: Reg,
+        /// Bit `i` set means `r<i>` participates.
+        regs: u16,
+        /// Offset applied before each access (DB/IB) rather than after.
+        before: bool,
+        /// Ascending (increment) addressing.
+        up: bool,
+        /// Write the final address back to `rn`.
+        writeback: bool,
+    },
+    /// Branch, optionally with link.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// Save return address in `lr`.
+        link: bool,
+        /// Signed word offset relative to the *next* instruction.
+        offset: i32,
+    },
+    /// Software interrupt (system call).
+    Swi {
+        /// Condition.
+        cond: Cond,
+        /// 24-bit comment field (the syscall number).
+        imm: u32,
+    },
+    /// Invoke the custom instruction registered under `cid`
+    /// (paper §4.2). Resolution order: TLB1 (hardware), TLB2 (software
+    /// alternative), else a custom-instruction fault.
+    Pfu {
+        /// Condition.
+        cond: Cond,
+        /// Process-local Circuit ID.
+        cid: u8,
+        /// Destination register.
+        rd: Reg,
+        /// First source operand.
+        rn: Reg,
+        /// Second source operand.
+        rm: Reg,
+    },
+    /// Move a core register into the RFU register file.
+    Mcr {
+        /// Condition.
+        cond: Cond,
+        /// RFU register index (0–15).
+        rfu: u8,
+        /// Core source register.
+        rs: Reg,
+    },
+    /// Move an RFU register into a core register.
+    Mrc {
+        /// Condition.
+        cond: Cond,
+        /// Core destination register.
+        rd: Reg,
+        /// RFU register index (0–15).
+        rfu: u8,
+    },
+    /// Software dispatch: read a latched operand register (paper §4.3).
+    LdOp {
+        /// Condition.
+        cond: Cond,
+        /// Destination core register.
+        rd: Reg,
+        /// Which operand.
+        sel: OperandSel,
+    },
+    /// Software dispatch: write the latched result register.
+    StRes {
+        /// Condition.
+        cond: Cond,
+        /// Core source register.
+        rs: Reg,
+    },
+    /// Return from a software alternative: the hardware writes the result
+    /// register into the faulting instruction's destination and branches
+    /// to the saved return address.
+    RetSd {
+        /// Condition.
+        cond: Cond,
+    },
+    /// Privileged: move a core register into a field of the operand block
+    /// (`0`=opA, `1`=opB, `2`=result, `3`=control). Lets the OS preserve
+    /// software-dispatch state across context switches (paper §4.3).
+    McrO {
+        /// Condition.
+        cond: Cond,
+        /// Operand-block field index.
+        field: u8,
+        /// Core source register.
+        rs: Reg,
+    },
+    /// Privileged: read an operand-block field into a core register.
+    MrcO {
+        /// Condition.
+        cond: Cond,
+        /// Core destination register.
+        rd: Reg,
+        /// Operand-block field index.
+        field: u8,
+    },
+}
+
+impl Instr {
+    /// The condition attached to this instruction.
+    pub fn cond(&self) -> Cond {
+        match *self {
+            Instr::DataProc { cond, .. }
+            | Instr::Mul { cond, .. }
+            | Instr::Mem { cond, .. }
+            | Instr::Block { cond, .. }
+            | Instr::Branch { cond, .. }
+            | Instr::Swi { cond, .. }
+            | Instr::Pfu { cond, .. }
+            | Instr::Mcr { cond, .. }
+            | Instr::Mrc { cond, .. }
+            | Instr::LdOp { cond, .. }
+            | Instr::StRes { cond, .. }
+            | Instr::RetSd { cond }
+            | Instr::McrO { cond, .. }
+            | Instr::MrcO { cond, .. } => cond,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::DataProc { op, cond, s, rd, rn, op2 } => {
+                let s_suffix = if s && !op.is_test() { "s" } else { "" };
+                if op.is_test() {
+                    write!(f, "{}{} {rn}, {op2}", op.mnemonic(), cond)
+                } else if op.is_move() {
+                    write!(f, "{}{}{} {rd}, {op2}", op.mnemonic(), cond, s_suffix)
+                } else {
+                    write!(f, "{}{}{} {rd}, {rn}, {op2}", op.mnemonic(), cond, s_suffix)
+                }
+            }
+            Instr::Mul { cond, s, rd, rm, rs, acc } => {
+                let s_suffix = if s { "s" } else { "" };
+                match acc {
+                    Some(rn) => write!(f, "mla{cond}{s_suffix} {rd}, {rm}, {rs}, {rn}"),
+                    None => write!(f, "mul{cond}{s_suffix} {rd}, {rm}, {rs}"),
+                }
+            }
+            Instr::Mem { op, cond, byte, rd, rn, offset, up, pre, writeback } => {
+                let m = match op {
+                    MemOp::Ldr => "ldr",
+                    MemOp::Str => "str",
+                };
+                let b = if byte { "b" } else { "" };
+                let sign = if up { "" } else { "-" };
+                let off = |f: &mut fmt::Formatter<'_>| match offset {
+                    MemOffset::Imm(i) => write!(f, "#{sign}{i}"),
+                    MemOffset::Reg(r, sh) if sh.amount == 0 => write!(f, "{sign}{r}"),
+                    MemOffset::Reg(r, sh) => {
+                        write!(f, "{sign}{r}, {} #{}", sh.kind.mnemonic(), sh.amount)
+                    }
+                };
+                let trivial = matches!(offset, MemOffset::Imm(0)) && up;
+                if trivial && !writeback {
+                    write!(f, "{m}{cond}{b} {rd}, [{rn}]")
+                } else if pre {
+                    write!(f, "{m}{cond}{b} {rd}, [{rn}, ")?;
+                    off(f)?;
+                    write!(f, "]{}", if writeback { "!" } else { "" })
+                } else {
+                    write!(f, "{m}{cond}{b} {rd}, [{rn}], ")?;
+                    off(f)
+                }
+            }
+            Instr::Block { op, cond, rn, regs, before, up, writeback } => {
+                let m = match op {
+                    BlockOp::Ldm => "ldm",
+                    BlockOp::Stm => "stm",
+                };
+                let mode = match (up, before) {
+                    (true, false) => "ia",
+                    (true, true) => "ib",
+                    (false, false) => "da",
+                    (false, true) => "db",
+                };
+                write!(f, "{m}{cond}{mode} {rn}{}, {{", if writeback { "!" } else { "" })?;
+                let mut first = true;
+                for i in 0..16 {
+                    if regs >> i & 1 == 1 {
+                        if !first {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{}", Reg::new(i))?;
+                        first = false;
+                    }
+                }
+                write!(f, "}}")
+            }
+            Instr::Branch { cond, link, offset } => {
+                write!(f, "b{}{} .{:+}", if link { "l" } else { "" }, cond, (offset + 1) * 4)
+            }
+            Instr::Swi { cond, imm } => write!(f, "swi{cond} #{imm}"),
+            Instr::Pfu { cond, cid, rd, rn, rm } => {
+                write!(f, "pfu{cond} {cid}, {rd}, {rn}, {rm}")
+            }
+            Instr::Mcr { cond, rfu, rs } => write!(f, "mcr{cond} c{rfu}, {rs}"),
+            Instr::Mrc { cond, rd, rfu } => write!(f, "mrc{cond} {rd}, c{rfu}"),
+            Instr::LdOp { cond, rd, sel } => {
+                let s = match sel {
+                    OperandSel::A => "a",
+                    OperandSel::B => "b",
+                };
+                write!(f, "ldop{cond} {rd}, {s}")
+            }
+            Instr::StRes { cond, rs } => write!(f, "stres{cond} {rs}"),
+            Instr::RetSd { cond } => write!(f, "retsd{cond}"),
+            Instr::McrO { cond, field, rs } => write!(f, "mcro{cond} o{field}, {rs}"),
+            Instr::MrcO { cond, rd, field } => write!(f, "mrco{cond} {rd}, o{field}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand2_try_imm_covers_rotations() {
+        for v in [0u32, 0xFF, 0xFF00, 0xFF00_0000, 0x3FC, 0xF000_000F] {
+            let op2 = Operand2::try_imm(v).unwrap_or_else(|| panic!("{v:#x} should encode"));
+            if let Operand2::Imm { value, rot } = op2 {
+                assert_eq!(Operand2::imm_value(value, rot), v);
+            }
+        }
+        assert!(Operand2::try_imm(0x1234_5678).is_none());
+        assert!(Operand2::try_imm(0x101).is_none());
+    }
+
+    #[test]
+    fn display_spot_checks() {
+        let i = Instr::DataProc {
+            op: DpOp::Add,
+            cond: Cond::Al,
+            s: true,
+            rd: Reg::new(0),
+            rn: Reg::new(1),
+            op2: Operand2::try_imm(4).expect("imm"),
+        };
+        assert_eq!(i.to_string(), "adds r0, r1, #4");
+        let b = Instr::Branch { cond: Cond::Ne, link: false, offset: -3 };
+        assert_eq!(b.to_string(), "bne .-8");
+        let p = Instr::Pfu { cond: Cond::Al, cid: 7, rd: Reg::new(2), rn: Reg::new(0), rm: Reg::new(1) };
+        assert_eq!(p.to_string(), "pfu 7, r2, r0, r1");
+    }
+}

@@ -1,0 +1,91 @@
+//! Core register names.
+
+use std::fmt;
+
+/// One of the sixteen core registers.
+///
+/// `r13` is the conventional stack pointer, `r14` the link register and
+/// `r15` the program counter, as on ARM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Stack pointer alias.
+    pub const SP: Reg = Reg(13);
+    /// Link register alias.
+    pub const LR: Reg = Reg(14);
+    /// Program counter alias.
+    pub const PC: Reg = Reg(15);
+
+    /// Construct from an index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 15`.
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 16, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// Construct from the low four bits of an encoding field.
+    pub fn from_bits(bits: u32) -> Reg {
+        Reg((bits & 0xF) as u8)
+    }
+
+    /// The register index (0–15).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The 4-bit encoding.
+    pub fn bits(self) -> u32 {
+        u32::from(self.0)
+    }
+
+    /// Parse an assembler register name (`r0`–`r15`, `sp`, `lr`, `pc`).
+    pub fn parse(s: &str) -> Option<Reg> {
+        match s {
+            "sp" => Some(Reg::SP),
+            "lr" => Some(Reg::LR),
+            "pc" => Some(Reg::PC),
+            _ => {
+                let n: u8 = s.strip_prefix('r')?.parse().ok()?;
+                (n < 16).then_some(Reg(n))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::SP => f.write_str("sp"),
+            Reg::LR => f.write_str("lr"),
+            Reg::PC => f.write_str("pc"),
+            Reg(n) => write!(f, "r{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for i in 0..13u8 {
+            let r = Reg::new(i);
+            assert_eq!(Reg::parse(&r.to_string()), Some(r));
+        }
+        assert_eq!(Reg::parse("sp"), Some(Reg::SP));
+        assert_eq!(Reg::parse("r15"), Some(Reg::PC));
+        assert_eq!(Reg::parse("r16"), None);
+        assert_eq!(Reg::parse("x0"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_large_index() {
+        let _ = Reg::new(16);
+    }
+}

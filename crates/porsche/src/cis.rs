@@ -1,0 +1,556 @@
+//! The Custom Instruction Scheduler (CIS).
+//!
+//! "POrSCHE implements a Custom Instruction Scheduler as part of the
+//! kernel, which manages the circuits registered with the OS by different
+//! applications. The CIS is responsible for loading and unloading
+//! circuits and for managing the dispatch hardware." (§5)
+//!
+//! The fault handler implements §4.2's required behaviour: "When the
+//! operating system sees a custom instruction fault it must first check
+//! if it is just a mapping fault before attempting to load the hardware."
+
+use std::collections::BTreeMap;
+
+use proteus_rfu::{FaultInfo, PfuIndex, Rfu, TupleKey};
+
+use crate::costs::CostModel;
+use crate::policy::{PolicyView, ReplacementPolicy};
+use crate::process::{Pid, Process};
+use crate::stats::KernelStats;
+
+/// How the CIS resolves contention (the paper's two experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchMode {
+    /// Always swap circuits: pick a victim and reconfigure
+    /// (§5.1.1, the Circuit Switching Test).
+    #[default]
+    HardwareOnly,
+    /// "The operating system can defer execution to the software
+    /// alternative rather than swapping circuits on and off the processor
+    /// if the FPL is full" (§2; §5.1.2, the Software Dispatch Test).
+    /// Falls back to swapping when no software alternative is registered.
+    SoftwareFallback,
+}
+
+/// Outcome of the custom-instruction fault handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultResolution {
+    /// Mapping repaired or circuit loaded; reissue the faulting
+    /// instruction. `cycles` is the management cost to charge.
+    Reissue {
+        /// Kernel cycles consumed resolving the fault.
+        cycles: u64,
+    },
+    /// The mapping request was illegal (unregistered CID) or the circuit
+    /// ran away — terminate the process (§4.2).
+    Kill,
+}
+
+/// CIS bookkeeping: who owns each PFU, load/use recency, TLB cursor.
+#[derive(Debug)]
+pub struct Cis {
+    mode: DispatchMode,
+    share_circuits: bool,
+    pfu_owner: Vec<Option<TupleKey>>,
+    pfu_image: Vec<Option<u64>>,
+    load_seq: Vec<u64>,
+    last_use_seq: Vec<u64>,
+    seq: u64,
+    tlb_hand: usize,
+}
+
+impl Cis {
+    /// CIS for an RFU with `pfus` units.
+    pub fn new(pfus: usize, mode: DispatchMode) -> Self {
+        Self::with_sharing(pfus, mode, false)
+    }
+
+    /// CIS with circuit sharing (§4.2) enabled or disabled. The paper's
+    /// experiments disable sharing to study overload; "in the final
+    /// system applications using the same circuits would attempt to
+    /// share instances, just changing the state in a single PFU".
+    pub fn with_sharing(pfus: usize, mode: DispatchMode, share_circuits: bool) -> Self {
+        Self {
+            mode,
+            share_circuits,
+            pfu_owner: vec![None; pfus],
+            pfu_image: vec![None; pfus],
+            load_seq: vec![0; pfus],
+            last_use_seq: vec![0; pfus],
+            seq: 1,
+            tlb_hand: 0,
+        }
+    }
+
+    /// The contention-resolution mode.
+    pub fn mode(&self) -> DispatchMode {
+        self.mode
+    }
+
+    /// Which tuple owns each PFU.
+    pub fn pfu_owners(&self) -> &[Option<TupleKey>] {
+        &self.pfu_owner
+    }
+
+    /// Pull fresh completion counts out of the hardware and update the
+    /// recency sequence (feeds LRU/Second Chance).
+    fn refresh_usage(&mut self, rfu: &mut Rfu) -> Vec<u64> {
+        let n = self.pfu_owner.len();
+        let mut counts = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = rfu.pfus_mut().counters_mut().read_and_clear(i);
+            if c > 0 {
+                self.seq += 1;
+                self.last_use_seq[i] = self.seq;
+            }
+            counts.push(c);
+        }
+        counts
+    }
+
+    /// Program a TLB entry, evicting (round-robin over slots) if full.
+    fn tlb_insert(cam_hand: &mut usize, cam: &mut proteus_rfu::Cam, key: TupleKey, value: u32, stats: &mut KernelStats) {
+        let slot = match cam.free_slot() {
+            Some(s) => s,
+            None => {
+                let s = *cam_hand % cam.capacity();
+                *cam_hand = (s + 1) % cam.capacity();
+                stats.tlb_evictions += 1;
+                s
+            }
+        };
+        cam.insert(slot, key, value);
+    }
+
+    /// Unload the circuit in `pfu`, saving its state frames (and, under
+    /// the A4 ablation, the full configuration) back to the owner's
+    /// registration record. Returns the cycle cost.
+    fn unload(
+        &mut self,
+        pfu: PfuIndex,
+        rfu: &mut Rfu,
+        procs: &mut BTreeMap<Pid, Process>,
+        costs: &CostModel,
+        stats: &mut KernelStats,
+    ) -> u64 {
+        let Some(owner) = self.pfu_owner[pfu].take() else {
+            return 0;
+        };
+        self.pfu_image[pfu] = None;
+        let dropped = rfu.tlb_hw_mut().invalidate_value(pfu as u32);
+        debug_assert!(dropped <= rfu.tlb_hw().capacity());
+        let Some((circuit, status)) = rfu.pfus_mut().unload(pfu) else {
+            return 0;
+        };
+        stats.evictions += 1;
+        let mut cycles = 0u64;
+        if let Some(reg) = procs.get_mut(&owner.pid).and_then(|p| p.circuits.get_mut(&owner.cid)) {
+            cycles = costs.unload_cycles(reg.static_bytes, reg.state_words);
+            stats.config_words_moved += reg.state_words as u64
+                + if costs.save_full_config_on_unload {
+                    (reg.static_bytes as u64).div_ceil(4)
+                } else {
+                    0
+                };
+            reg.instance = Some(circuit);
+            reg.status = status;
+            reg.loaded_at = None;
+        }
+        cycles
+    }
+
+    /// The custom-instruction fault handler (Figure 1's "Fault" leg).
+    pub fn handle_fault(
+        &mut self,
+        key: TupleKey,
+        rfu: &mut Rfu,
+        procs: &mut BTreeMap<Pid, Process>,
+        policy: &mut dyn ReplacementPolicy,
+        costs: &CostModel,
+        stats: &mut KernelStats,
+    ) -> FaultResolution {
+        stats.custom_faults += 1;
+        let mut cycles = costs.fault_entry;
+
+        // Runaway circuits are fatal (the OS's timeliness guarantee, §2).
+        if let Some(FaultInfo::Runaway { .. }) = rfu.take_fault() {
+            return FaultResolution::Kill;
+        }
+
+        let Some(proc) = procs.get_mut(&key.pid) else {
+            return FaultResolution::Kill;
+        };
+        let Some(reg) = proc.circuits.get_mut(&key.cid) else {
+            // "terminate the process if the mapping request was illegal".
+            return FaultResolution::Kill;
+        };
+
+        // §4.2: check for a plain mapping fault first — the circuit is
+        // resident but its TLB entry was pushed out.
+        if let Some(pfu) = reg.loaded_at {
+            Self::tlb_insert(&mut self.tlb_hand, rfu.tlb_hw_mut(), key, pfu as u32, stats);
+            stats.mapping_faults += 1;
+            cycles += costs.tlb_program;
+            return FaultResolution::Reissue { cycles };
+        }
+
+        // A tuple already dispatched to software stays on the software
+        // path (its instruction may hold mid-protocol shadow state in
+        // process memory); this fault just means the TLB2 entry was
+        // pushed out.
+        if reg.soft_active {
+            let addr = reg.software_alt.expect("soft_active implies an alternative");
+            Self::tlb_insert(&mut self.tlb_hand, rfu.tlb_sw_mut(), key, addr, stats);
+            stats.mapping_faults += 1;
+            cycles += costs.tlb_program;
+            return FaultResolution::Reissue { cycles };
+        }
+
+        let software_alt = reg.software_alt;
+        let static_bytes = reg.static_bytes;
+        let state_words = reg.state_words;
+        let image = reg.image;
+
+        // Sharing fast path (§4.2): another process's instance of the
+        // same configuration image is resident — hand the PFU over by
+        // swapping state frames only, no reconfiguration.
+        if self.share_circuits && rfu.pfus().free_pfus().is_empty() {
+            if let Some(pfu) = image.and_then(|img| {
+                (0..self.pfu_image.len()).find(|&p| self.pfu_image[p] == Some(img))
+            }) {
+                // Return the resident instance (with its state) to its
+                // owner's registry...
+                let prev_owner = self.pfu_owner[pfu].take();
+                rfu.tlb_hw_mut().invalidate_value(pfu as u32);
+                if let Some((circuit, status)) = rfu.pfus_mut().unload(pfu) {
+                    if let Some(prev) = prev_owner {
+                        if let Some(prev_reg) =
+                            procs.get_mut(&prev.pid).and_then(|p| p.circuits.get_mut(&prev.cid))
+                        {
+                            prev_reg.instance = Some(circuit);
+                            prev_reg.status = status;
+                            prev_reg.loaded_at = None;
+                        }
+                    }
+                }
+                // ...and install the faulting process's instance: the
+                // static configuration is identical, so only the state
+                // frames move over the bus.
+                let proc = procs.get_mut(&key.pid).expect("checked above");
+                let reg = proc.circuits.get_mut(&key.cid).expect("checked above");
+                let circuit = reg.instance.take().expect("not loaded");
+                rfu.pfus_mut().load(pfu, circuit);
+                rfu.pfus_mut().set_status(pfu, reg.status);
+                reg.loaded_at = Some(pfu);
+                self.seq += 1;
+                self.last_use_seq[pfu] = self.seq;
+                self.pfu_owner[pfu] = Some(key);
+                self.pfu_image[pfu] = image;
+                Self::tlb_insert(&mut self.tlb_hand, rfu.tlb_hw_mut(), key, pfu as u32, stats);
+                cycles += costs.state_swap_cycles(state_words) + costs.tlb_program;
+                stats.state_swaps += 1;
+                stats.config_words_moved += 2 * state_words as u64;
+                return FaultResolution::Reissue { cycles };
+            }
+        }
+
+        // Find a home: a free PFU, the software alternative, or a victim.
+        let target = match rfu.pfus().free_pfus().first().copied() {
+            Some(free) => free,
+            None => {
+                if self.mode == DispatchMode::SoftwareFallback {
+                    if let Some(addr) = software_alt {
+                        Self::tlb_insert(&mut self.tlb_hand, rfu.tlb_sw_mut(), key, addr, stats);
+                        stats.software_installs += 1;
+                        cycles += costs.tlb_program;
+                        let proc = procs.get_mut(&key.pid).expect("checked above");
+                        let reg = proc.circuits.get_mut(&key.cid).expect("checked above");
+                        reg.soft_active = true;
+                        return FaultResolution::Reissue { cycles };
+                    }
+                }
+                let counts = self.refresh_usage(rfu);
+                let victim = policy.select_victim(&PolicyView {
+                    occupied: &self.pfu_owner,
+                    completions: &counts,
+                    last_use_seq: &self.last_use_seq,
+                    load_seq: &self.load_seq,
+                    current_pid: key.pid,
+                });
+                assert!(victim < self.pfu_owner.len(), "policy returned bad PFU {victim}");
+                cycles += self.unload(victim, rfu, procs, costs, stats);
+                victim
+            }
+        };
+
+        // Full configuration load: static frames + state frames (§4.1).
+        let proc = procs.get_mut(&key.pid).expect("checked above");
+        let reg = proc.circuits.get_mut(&key.cid).expect("checked above");
+        let circuit = reg.instance.take().expect("not loaded, so instance is home");
+        let evicted = rfu.pfus_mut().load(target, circuit);
+        debug_assert!(evicted.is_none(), "target PFU was freed");
+        rfu.pfus_mut().set_status(target, reg.status);
+        reg.loaded_at = Some(target);
+        cycles += costs.full_load_cycles(static_bytes, state_words);
+        stats.config_loads += 1;
+        stats.config_words_moved += (static_bytes as u64).div_ceil(4) + state_words as u64;
+        self.seq += 1;
+        self.load_seq[target] = self.seq;
+        self.last_use_seq[target] = self.seq;
+        self.pfu_owner[target] = Some(key);
+        self.pfu_image[target] = image;
+        Self::tlb_insert(&mut self.tlb_hand, rfu.tlb_hw_mut(), key, target as u32, stats);
+        cycles += costs.tlb_program;
+        FaultResolution::Reissue { cycles }
+    }
+
+    /// Process teardown: free its PFUs and purge its TLB entries.
+    pub fn release_process(&mut self, pid: Pid, rfu: &mut Rfu) {
+        for pfu in 0..self.pfu_owner.len() {
+            if self.pfu_owner[pfu].is_some_and(|k| k.pid == pid) {
+                self.pfu_owner[pfu] = None;
+                self.pfu_image[pfu] = None;
+                rfu.pfus_mut().unload(pfu);
+            }
+        }
+        rfu.tlb_hw_mut().invalidate_pid(pid);
+        rfu.tlb_sw_mut().invalidate_pid(pid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use crate::process::{ProcState, Registered};
+    use proteus_cpu::cpu::Context;
+    use proteus_cpu::Memory;
+    use proteus_rfu::behavioral::FixedLatency;
+    use proteus_cpu::Coprocessor;
+    use proteus_rfu::RfuConfig;
+
+    fn proc_with_circuit(pid: Pid, cid: u8, sw: Option<u32>) -> Process {
+        proc_with_image(pid, cid, sw, None)
+    }
+
+    fn proc_with_image(pid: Pid, cid: u8, sw: Option<u32>, image: Option<u64>) -> Process {
+        let mut circuits = BTreeMap::new();
+        circuits.insert(
+            cid,
+            Registered::with_image(Box::new(FixedLatency::new("add", 1, 4, |a, b| a + b)), sw, image),
+        );
+        Process {
+            pid,
+            ctx: Context::default(),
+            mem: Memory::new(1024),
+            rfu_regs: [0; 16],
+            operand_block: [0; 5],
+            state: ProcState::Ready,
+            circuits,
+            circuit_table: Vec::new(),
+            finish_cycle: None,
+            console: Vec::new(),
+        }
+    }
+
+    fn setup(n_procs: u32, pfus: usize, mode: DispatchMode, sw: Option<u32>) -> (Cis, Rfu, BTreeMap<Pid, Process>, Box<dyn ReplacementPolicy>, CostModel, KernelStats) {
+        let cis = Cis::new(pfus, mode);
+        let rfu = Rfu::new(RfuConfig { pfus, ..RfuConfig::default() });
+        let mut procs = BTreeMap::new();
+        for pid in 1..=n_procs {
+            procs.insert(pid, proc_with_circuit(pid, 0, sw));
+        }
+        (cis, rfu, procs, PolicyKind::RoundRobin.build(), CostModel::default(), KernelStats::default())
+    }
+
+    #[test]
+    fn first_fault_loads_into_free_pfu() {
+        let (mut cis, mut rfu, mut procs, mut pol, costs, mut stats) =
+            setup(1, 4, DispatchMode::HardwareOnly, None);
+        let key = TupleKey::new(1, 0);
+        let res = cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        match res {
+            FaultResolution::Reissue { cycles } => {
+                assert!(cycles > 13_000, "full 54 KB load, got {cycles}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(stats.config_loads, 1);
+        // Instruction now dispatches in hardware.
+        assert!(matches!(
+            rfu.exec_custom(1, 0, 2, 3, 0, 0, 100),
+            proteus_cpu::coproc::CoprocResult::Done { value: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn unregistered_cid_kills() {
+        let (mut cis, mut rfu, mut procs, mut pol, costs, mut stats) =
+            setup(1, 4, DispatchMode::HardwareOnly, None);
+        let res = cis.handle_fault(TupleKey::new(1, 9), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        assert_eq!(res, FaultResolution::Kill);
+    }
+
+    #[test]
+    fn contention_evicts_a_victim() {
+        let (mut cis, mut rfu, mut procs, mut pol, costs, mut stats) =
+            setup(5, 4, DispatchMode::HardwareOnly, None);
+        for pid in 1..=5 {
+            let res = cis.handle_fault(TupleKey::new(pid, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+            assert!(matches!(res, FaultResolution::Reissue { .. }));
+        }
+        assert_eq!(stats.config_loads, 5);
+        assert_eq!(stats.evictions, 1, "fifth circuit evicted one of the four");
+        // The evicted process's registration got its instance (and
+        // state) back.
+        let evicted_pid = (1..=5)
+            .find(|p| procs[p].circuits[&0].loaded_at.is_none())
+            .expect("someone was evicted");
+        assert!(procs[&evicted_pid].circuits[&0].instance.is_some());
+    }
+
+    #[test]
+    fn software_fallback_avoids_eviction() {
+        let (mut cis, mut rfu, mut procs, mut pol, costs, mut stats) =
+            setup(5, 4, DispatchMode::SoftwareFallback, Some(0x4000));
+        for pid in 1..=5 {
+            cis.handle_fault(TupleKey::new(pid, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        }
+        assert_eq!(stats.config_loads, 4, "only the four free PFUs were filled");
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.software_installs, 1);
+        // Fifth process now dispatches to software.
+        assert!(matches!(
+            rfu.exec_custom(5, 0, 2, 3, 0, 0x88, 100),
+            proteus_cpu::coproc::CoprocResult::SoftwareDispatch { target: 0x4000, .. }
+        ));
+    }
+
+    #[test]
+    fn mapping_fault_is_cheap() {
+        let (mut cis, mut rfu, mut procs, mut pol, costs, mut stats) =
+            setup(1, 4, DispatchMode::HardwareOnly, None);
+        let key = TupleKey::new(1, 0);
+        cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        // Simulate the TLB entry being pushed out while the circuit
+        // stays resident.
+        rfu.tlb_hw_mut().invalidate(key);
+        let res = cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        match res {
+            FaultResolution::Reissue { cycles } => {
+                assert!(cycles < 200, "mapping fault must not reload 54 KB, got {cycles}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(stats.mapping_faults, 1);
+        assert_eq!(stats.config_loads, 1, "no second load");
+    }
+
+    #[test]
+    fn sharing_hands_over_via_state_swap() {
+        // One PFU, two processes with the SAME configuration image:
+        // the second fault must resolve with a state swap, not a load.
+        let mut cis = Cis::with_sharing(1, DispatchMode::HardwareOnly, true);
+        let mut rfu = Rfu::new(RfuConfig { pfus: 1, ..RfuConfig::default() });
+        let mut procs = BTreeMap::new();
+        procs.insert(1, proc_with_image(1, 0, None, Some(77)));
+        procs.insert(2, proc_with_image(2, 0, None, Some(77)));
+        let mut pol = PolicyKind::RoundRobin.build();
+        let costs = CostModel::default();
+        let mut stats = KernelStats::default();
+
+        let r1 = cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        assert!(matches!(r1, FaultResolution::Reissue { cycles } if cycles > 13_000), "first is a full load");
+        match cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats) {
+            FaultResolution::Reissue { cycles } => {
+                assert!(cycles < 500, "handover must be a state swap, took {cycles}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(stats.config_loads, 1);
+        assert_eq!(stats.state_swaps, 1);
+        assert_eq!(stats.evictions, 0);
+        // Process 2 now dispatches in hardware; process 1's mapping is
+        // gone and its instance is home with its state.
+        assert!(matches!(
+            rfu.exec_custom(2, 0, 4, 5, 0, 0, 100),
+            proteus_cpu::coproc::CoprocResult::Done { value: 9, .. }
+        ));
+        assert!(rfu.tlb_hw().lookup(TupleKey::new(1, 0)).is_none());
+        assert!(procs[&1].circuits[&0].instance.is_some());
+    }
+
+    #[test]
+    fn different_images_do_not_share() {
+        let mut cis = Cis::with_sharing(1, DispatchMode::HardwareOnly, true);
+        let mut rfu = Rfu::new(RfuConfig { pfus: 1, ..RfuConfig::default() });
+        let mut procs = BTreeMap::new();
+        procs.insert(1, proc_with_image(1, 0, None, Some(77)));
+        procs.insert(2, proc_with_image(2, 0, None, Some(88)));
+        let mut pol = PolicyKind::RoundRobin.build();
+        let costs = CostModel::default();
+        let mut stats = KernelStats::default();
+        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        assert_eq!(stats.state_swaps, 0);
+        assert_eq!(stats.config_loads, 2);
+        assert_eq!(stats.evictions, 1, "incompatible images evict as usual");
+    }
+
+    #[test]
+    fn release_process_frees_pfus_and_tlbs() {
+        let (mut cis, mut rfu, mut procs, mut pol, costs, mut stats) =
+            setup(2, 4, DispatchMode::HardwareOnly, None);
+        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        cis.release_process(1, &mut rfu);
+        assert_eq!(rfu.pfus().free_pfus().len(), 3);
+        assert_eq!(rfu.tlb_hw().lookup(TupleKey::new(1, 0)), None);
+        assert!(rfu.tlb_hw().lookup(TupleKey::new(2, 0)).is_some());
+    }
+
+    #[test]
+    fn eviction_preserves_mid_instruction_state() {
+        // One PFU, two processes with multi-cycle circuits: process 1's
+        // instruction is interrupted, evicted, reloaded, and must resume
+        // where it stopped.
+        let mut cis = Cis::new(1, DispatchMode::HardwareOnly);
+        let mut rfu = Rfu::new(RfuConfig { pfus: 1, ..RfuConfig::default() });
+        let mut procs = BTreeMap::new();
+        for pid in 1..=2u32 {
+            let mut p = proc_with_circuit(pid, 0, None);
+            p.circuits.insert(
+                0,
+                Registered::new(Box::new(FixedLatency::new("slow", 10, 4, |a, b| a + b)), None),
+            );
+            procs.insert(pid, p);
+        }
+        let mut pol = PolicyKind::RoundRobin.build();
+        let costs = CostModel::default();
+        let mut stats = KernelStats::default();
+
+        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        // Run 4 of 10 cycles, then get interrupted.
+        assert!(matches!(
+            rfu.exec_custom(1, 0, 20, 22, 0, 0, 4),
+            proteus_cpu::coproc::CoprocResult::Interrupted { cycles: 4 }
+        ));
+        // Process 2 steals the PFU.
+        cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        assert!(matches!(
+            rfu.exec_custom(2, 0, 1, 1, 0, 0, 1000),
+            proteus_cpu::coproc::CoprocResult::Done { value: 2, .. }
+        ));
+        // Process 1 faults (its mapping is gone), gets reloaded, and the
+        // reissued instruction needs only the remaining 6 cycles.
+        assert!(matches!(
+            rfu.exec_custom(1, 0, 20, 22, 0, 0, 1000),
+            proteus_cpu::coproc::CoprocResult::Fault
+        ));
+        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        assert!(matches!(
+            rfu.exec_custom(1, 0, 20, 22, 0, 0, 1000),
+            proteus_cpu::coproc::CoprocResult::Done { value: 42, cycles: 6 }
+        ));
+    }
+}

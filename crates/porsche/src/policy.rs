@@ -1,0 +1,309 @@
+//! PFU replacement policies.
+//!
+//! The paper's experiments compare **round robin** and **random** circuit
+//! replacement (§5.1.1) and note that the usage counters of §4.5 enable
+//! "classic scheduling algorithms such as Least Recently Used (LRU),
+//! Second Chance, etc." — implemented here as well, and compared in
+//! ablation A1.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use proteus_rfu::TupleKey;
+
+/// What the kernel shows a policy when it must pick a victim PFU.
+#[derive(Debug)]
+pub struct PolicyView<'a> {
+    /// Which tuple currently owns each PFU (`None` = free — the kernel
+    /// only consults the policy when nothing is free, but policies must
+    /// tolerate holes).
+    pub occupied: &'a [Option<TupleKey>],
+    /// Per-PFU completions since the previous fault (the §4.5 counters,
+    /// read-and-cleared by the kernel before each consultation).
+    pub completions: &'a [u64],
+    /// Monotonic sequence number of each PFU's last observed use
+    /// (maintained by the kernel from the counters).
+    pub last_use_seq: &'a [u64],
+    /// Monotonic sequence number of each PFU's configuration load.
+    pub load_seq: &'a [u64],
+    /// PID of the faulting process.
+    pub current_pid: u32,
+}
+
+/// A victim-selection policy over PFUs.
+///
+/// # Example
+///
+/// ```
+/// use porsche::policy::{PolicyKind, PolicyView};
+/// use proteus_rfu::TupleKey;
+///
+/// let mut policy = PolicyKind::Lru.build();
+/// let occupied = vec![Some(TupleKey::new(1, 0)); 4];
+/// let counts = vec![0u64; 4];
+/// let last_use = vec![9, 2, 7, 5]; // PFU 1 used longest ago
+/// let loads = vec![0u64; 4];
+/// let victim = policy.select_victim(&PolicyView {
+///     occupied: &occupied,
+///     completions: &counts,
+///     last_use_seq: &last_use,
+///     load_seq: &loads,
+///     current_pid: 1,
+/// });
+/// assert_eq!(victim, 1);
+/// ```
+pub trait ReplacementPolicy: fmt::Debug + Send {
+    /// Human-readable name (appears in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Choose the PFU to evict. Must return an index < `occupied.len()`.
+    fn select_victim(&mut self, view: &PolicyView<'_>) -> usize;
+}
+
+/// Identifies a policy in configuration and results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Cyclic victim selection (the paper's "round robin" replacement).
+    RoundRobin,
+    /// Uniformly random victim (the paper's "random").
+    Random {
+        /// RNG seed, for reproducible runs.
+        seed: u64,
+    },
+    /// Evict the least-recently-used circuit (per §4.5 counters).
+    Lru,
+    /// Classic second-chance sweep over reference bits derived from the
+    /// completion counters.
+    SecondChance,
+    /// Evict the oldest-loaded circuit.
+    Fifo,
+}
+
+impl PolicyKind {
+    /// Instantiate the policy.
+    pub fn build(self) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicyKind::RoundRobin => Box::new(RoundRobinPolicy::new()),
+            PolicyKind::Random { seed } => Box::new(RandomPolicy::new(seed)),
+            PolicyKind::Lru => Box::new(LruPolicy),
+            PolicyKind::SecondChance => Box::new(SecondChancePolicy::new()),
+            PolicyKind::Fifo => Box::new(FifoPolicy),
+        }
+    }
+
+    /// Name matching [`ReplacementPolicy::name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::RoundRobin => "round_robin",
+            PolicyKind::Random { .. } => "random",
+            PolicyKind::Lru => "lru",
+            PolicyKind::SecondChance => "second_chance",
+            PolicyKind::Fifo => "fifo",
+        }
+    }
+}
+
+/// Cyclic victim selection.
+#[derive(Debug, Default)]
+pub struct RoundRobinPolicy {
+    next: usize,
+}
+
+impl RoundRobinPolicy {
+    /// Start at PFU 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for RoundRobinPolicy {
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+
+    fn select_victim(&mut self, view: &PolicyView<'_>) -> usize {
+        let n = view.occupied.len();
+        let victim = self.next % n;
+        self.next = (victim + 1) % n;
+        victim
+    }
+}
+
+/// Uniform random victim selection (seeded for reproducibility).
+pub struct RandomPolicy {
+    rng: StdRng,
+}
+
+impl fmt::Debug for RandomPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RandomPolicy").finish_non_exhaustive()
+    }
+}
+
+impl RandomPolicy {
+    /// Create with a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl ReplacementPolicy for RandomPolicy {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn select_victim(&mut self, view: &PolicyView<'_>) -> usize {
+        self.rng.gen_range(0..view.occupied.len())
+    }
+}
+
+/// Least-recently-used, driven by the §4.5 completion counters.
+#[derive(Debug, Default)]
+pub struct LruPolicy;
+
+impl ReplacementPolicy for LruPolicy {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn select_victim(&mut self, view: &PolicyView<'_>) -> usize {
+        (0..view.occupied.len())
+            .min_by_key(|&i| view.last_use_seq[i])
+            .expect("at least one PFU")
+    }
+}
+
+/// Second Chance: sweep a hand over the PFUs; a set reference bit earns
+/// one reprieve.
+#[derive(Debug, Default)]
+pub struct SecondChancePolicy {
+    hand: usize,
+    referenced: Vec<bool>,
+}
+
+impl SecondChancePolicy {
+    /// Start with the hand at PFU 0 and all reference bits clear.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for SecondChancePolicy {
+    fn name(&self) -> &'static str {
+        "second_chance"
+    }
+
+    fn select_victim(&mut self, view: &PolicyView<'_>) -> usize {
+        let n = view.occupied.len();
+        self.referenced.resize(n, false);
+        // Fold fresh completions into the reference bits.
+        for (bit, &c) in self.referenced.iter_mut().zip(view.completions) {
+            *bit = *bit || c > 0;
+        }
+        // Sweep at most 2n steps; the first pass clears bits.
+        for _ in 0..2 * n {
+            let i = self.hand % n;
+            self.hand = (i + 1) % n;
+            if self.referenced[i] {
+                self.referenced[i] = false;
+            } else {
+                return i;
+            }
+        }
+        self.hand % n
+    }
+}
+
+/// Evict the oldest configuration.
+#[derive(Debug, Default)]
+pub struct FifoPolicy;
+
+impl ReplacementPolicy for FifoPolicy {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn select_victim(&mut self, view: &PolicyView<'_>) -> usize {
+        (0..view.occupied.len())
+            .min_by_key(|&i| view.load_seq[i])
+            .expect("at least one PFU")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(
+        occupied: &'a [Option<TupleKey>],
+        completions: &'a [u64],
+        last_use: &'a [u64],
+        load_seq: &'a [u64],
+    ) -> PolicyView<'a> {
+        PolicyView { occupied, completions, last_use_seq: last_use, load_seq, current_pid: 1 }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let occ = vec![Some(TupleKey::new(1, 0)); 4];
+        let z = vec![0u64; 4];
+        let mut p = RoundRobinPolicy::new();
+        let picks: Vec<usize> = (0..6).map(|_| p.select_victim(&view(&occ, &z, &z, &z))).collect();
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let occ = vec![Some(TupleKey::new(1, 0)); 4];
+        let z = vec![0u64; 4];
+        let run = |seed| {
+            let mut p = RandomPolicy::new(seed);
+            (0..8).map(|_| p.select_victim(&view(&occ, &z, &z, &z))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert!(run(7).iter().all(|&i| i < 4));
+    }
+
+    #[test]
+    fn lru_picks_stalest() {
+        let occ = vec![Some(TupleKey::new(1, 0)); 4];
+        let z = vec![0u64; 4];
+        let last = vec![9, 2, 7, 5];
+        let mut p = LruPolicy;
+        assert_eq!(p.select_victim(&view(&occ, &z, &last, &z)), 1);
+    }
+
+    #[test]
+    fn fifo_picks_oldest_load() {
+        let occ = vec![Some(TupleKey::new(1, 0)); 3];
+        let z = vec![0u64; 3];
+        let loads = vec![5, 1, 3];
+        let mut p = FifoPolicy;
+        assert_eq!(p.select_victim(&view(&occ, &z, &z, &loads)), 1);
+    }
+
+    #[test]
+    fn second_chance_spares_referenced() {
+        let occ = vec![Some(TupleKey::new(1, 0)); 3];
+        let z = vec![0u64; 3];
+        let mut p = SecondChancePolicy::new();
+        // PFU 0 referenced, 1 and 2 idle: hand starts at 0, gives 0 a
+        // second chance, evicts 1.
+        let comps = vec![3u64, 0, 0];
+        assert_eq!(p.select_victim(&view(&occ, &comps, &z, &z)), 1);
+        // Next fault, nothing referenced since: hand is at 2, evicts 2.
+        assert_eq!(p.select_victim(&view(&occ, &z, &z, &z)), 2);
+    }
+
+    #[test]
+    fn second_chance_terminates_when_all_referenced() {
+        let occ = vec![Some(TupleKey::new(1, 0)); 3];
+        let comps = vec![1u64, 1, 1];
+        let z = vec![0u64; 3];
+        let mut p = SecondChancePolicy::new();
+        let v = p.select_victim(&view(&occ, &comps, &z, &z));
+        assert!(v < 3);
+    }
+}

@@ -1,0 +1,40 @@
+//! Kernel-level statistics gathered during a run.
+
+/// Counters describing how much management work the kernel performed —
+/// the quantities the paper's discussion (§5.1.3) reasons about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelStats {
+    /// Full context switches between distinct processes.
+    pub context_switches: u64,
+    /// Timer ticks that returned to the same process.
+    pub timer_ticks: u64,
+    /// Custom-instruction faults taken (all kinds).
+    pub custom_faults: u64,
+    /// Faults resolved by re-programming a TLB entry only (the circuit
+    /// was still resident — §4.2's "mapping fault" fast path).
+    pub mapping_faults: u64,
+    /// Full configuration loads performed.
+    pub config_loads: u64,
+    /// Circuits evicted to make room.
+    pub evictions: u64,
+    /// Faults resolved by installing a software-dispatch mapping.
+    pub software_installs: u64,
+    /// Dispatch-TLB entries evicted because the TLB was full.
+    pub tlb_evictions: u64,
+    /// Faults resolved by handing a *shared* configuration to another
+    /// process via a state-frames-only swap (§4.2 sharing).
+    pub state_swaps: u64,
+    /// Words moved over the configuration bus (static + state).
+    pub config_words_moved: u64,
+    /// System calls serviced.
+    pub syscalls: u64,
+    /// Processes killed by the kernel.
+    pub kills: u64,
+}
+
+impl KernelStats {
+    /// Bytes moved over the configuration bus.
+    pub fn config_bytes_moved(&self) -> u64 {
+        self.config_words_moved * 4
+    }
+}

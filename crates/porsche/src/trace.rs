@@ -1,0 +1,170 @@
+//! Kernel event tracing.
+//!
+//! When enabled ([`crate::kernel::KernelConfig::trace_capacity`] > 0),
+//! the kernel records a timeline of scheduling and CIS events — the raw
+//! material behind every aggregate in [`crate::stats::KernelStats`].
+//! Useful for debugging policies and for asserting ordering invariants
+//! in tests.
+
+use std::fmt;
+
+use proteus_rfu::TupleKey;
+
+use crate::process::Pid;
+
+/// One timeline entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A process was created.
+    Spawn {
+        /// New process.
+        pid: Pid,
+    },
+    /// The CPU switched from one process to another.
+    ContextSwitch {
+        /// Previously running process (`None` right after a terminate).
+        from: Option<Pid>,
+        /// Now-running process.
+        to: Pid,
+    },
+    /// The quantum expired with no other runnable process.
+    TimerTick {
+        /// The process that keeps running.
+        pid: Pid,
+    },
+    /// A custom-instruction fault was taken.
+    Fault {
+        /// The faulting tuple.
+        key: TupleKey,
+    },
+    /// The fault was a mapping fault: TLB re-programmed, no load.
+    MappingRepair {
+        /// The repaired tuple.
+        key: TupleKey,
+    },
+    /// A full configuration was loaded.
+    ConfigLoad {
+        /// The tuple now resident.
+        key: TupleKey,
+    },
+    /// A resident circuit was evicted to make room.
+    Eviction,
+    /// A shared configuration changed hands via a state-frame swap.
+    StateSwap {
+        /// The tuple now owning the shared PFU.
+        key: TupleKey,
+    },
+    /// The fault was resolved by mapping the software alternative.
+    SoftwareInstall {
+        /// The tuple now dispatching to software.
+        key: TupleKey,
+    },
+    /// A system call was serviced.
+    Syscall {
+        /// Calling process.
+        pid: Pid,
+        /// SWI number.
+        number: u32,
+    },
+    /// A process exited.
+    Exit {
+        /// The process.
+        pid: Pid,
+        /// Exit code.
+        code: u32,
+    },
+    /// A process was killed by the kernel.
+    Kill {
+        /// The process.
+        pid: Pid,
+    },
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Spawn { pid } => write!(f, "spawn pid={pid}"),
+            Event::ContextSwitch { from: Some(p), to } => write!(f, "switch {p} -> {to}"),
+            Event::ContextSwitch { from: None, to } => write!(f, "dispatch -> {to}"),
+            Event::TimerTick { pid } => write!(f, "tick pid={pid}"),
+            Event::Fault { key } => write!(f, "fault ({}, {})", key.pid, key.cid),
+            Event::MappingRepair { key } => write!(f, "tlb-repair ({}, {})", key.pid, key.cid),
+            Event::ConfigLoad { key } => write!(f, "load ({}, {})", key.pid, key.cid),
+            Event::Eviction => write!(f, "evict"),
+            Event::StateSwap { key } => write!(f, "state-swap ({}, {})", key.pid, key.cid),
+            Event::SoftwareInstall { key } => write!(f, "soft-map ({}, {})", key.pid, key.cid),
+            Event::Syscall { pid, number } => write!(f, "swi pid={pid} #{number}"),
+            Event::Exit { pid, code } => write!(f, "exit pid={pid} code={code}"),
+            Event::Kill { pid } => write!(f, "kill pid={pid}"),
+        }
+    }
+}
+
+/// A bounded event timeline: `(cycle, event)` pairs in emission order.
+/// Recording stops silently at capacity (the counters in
+/// [`crate::stats::KernelStats`] remain complete).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<(u64, Event)>,
+    capacity: usize,
+}
+
+impl Trace {
+    /// A trace that keeps at most `capacity` events (0 disables).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { events: Vec::new(), capacity }
+    }
+
+    /// Whether recording is active.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Record an event at `cycle`.
+    pub fn record(&mut self, cycle: u64, event: Event) {
+        if self.events.len() < self.capacity {
+            self.events.push((cycle, event));
+        }
+    }
+
+    /// The recorded timeline.
+    pub fn events(&self) -> &[(u64, Event)] {
+        &self.events
+    }
+
+    /// Render as one line per event.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (cycle, e) in &self.events {
+            out.push_str(&format!("{cycle:>12} {e}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_bounds_recording() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5 {
+            t.record(i, Event::TimerTick { pid: 1 });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert!(t.enabled());
+        assert!(!Trace::with_capacity(0).enabled());
+    }
+
+    #[test]
+    fn text_rendering_is_one_line_per_event() {
+        let mut t = Trace::with_capacity(8);
+        t.record(10, Event::Spawn { pid: 1 });
+        t.record(20, Event::Exit { pid: 1, code: 0 });
+        let text = t.to_text();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("spawn pid=1"));
+        assert!(text.contains("exit pid=1"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Proteus — a full-system reproduction of *"Managing a Reconfigurable
+//! Processor in a General Purpose Workstation Environment"*
+//! (Michael Dales, DATE 2003).
+//!
+//! This facade crate wires the substrates together and exposes the
+//! experiment harness:
+//!
+//! * [`machine::Machine`] — a complete ProteanARM workstation:
+//!   [`proteus_cpu::Cpu`] core + [`proteus_rfu::Rfu`] reconfigurable
+//!   function unit + [`porsche::Kernel`];
+//! * [`scenario::Scenario`] — one experimental run: an application,
+//!   an instance count, a quantum, a replacement policy and a dispatch
+//!   mode, with end-to-end checksum validation;
+//! * [`experiment`] — generators for every figure of the paper's
+//!   evaluation (Figure 2, Figure 3, the speedup claim) plus the
+//!   ablations listed in DESIGN.md;
+//! * [`series`] — simple long-format CSV output for the results.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use proteus::scenario::Scenario;
+//! use proteus_apps::AppKind;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Two concurrent alpha-blending processes on a 4-PFU ProteanARM.
+//! let result = Scenario::new(AppKind::Alpha)
+//!     .instances(2)
+//!     .size(64)
+//!     .passes(2)
+//!     .run()?;
+//! assert!(result.all_valid());
+//! assert!(result.makespan > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dynamic;
+pub mod experiment;
+pub mod machine;
+pub mod scenario;
+pub mod series;
+
+pub use dynamic::{DynamicLoad, DynamicResult};
+pub use machine::{Machine, MachineConfig};
+pub use scenario::{Scenario, ScenarioResult};
+pub use series::{Point, Series, SeriesSet};

@@ -1,0 +1,274 @@
+//! One experimental run: N instances of a workload under a scheduling
+//! configuration.
+
+use porsche::cis::DispatchMode;
+use porsche::costs::CostModel;
+use porsche::kernel::{KernelConfig, KernelError};
+use porsche::policy::PolicyKind;
+use porsche::stats::KernelStats;
+use proteus_apps::workload::{WorkloadConfig, WorkloadSpec};
+use proteus_apps::AppKind;
+use proteus_rfu::RfuConfig;
+
+use crate::machine::{Machine, MachineConfig};
+
+/// Builder for one run of the paper's experimental setup: between 1 and
+/// N concurrent instances of a test application (paper §5.1; "sharing is
+/// not allowed", which holds here automatically because every instance
+/// registers its own circuit instances).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    app: AppKind,
+    accelerated: bool,
+    instances: usize,
+    size: usize,
+    passes: u32,
+    quantum: u64,
+    policy: PolicyKind,
+    mode: DispatchMode,
+    with_software_alt: bool,
+    pfus: usize,
+    tlb_capacity: usize,
+    costs: CostModel,
+    share_circuits: bool,
+    cycle_limit: u64,
+}
+
+impl Scenario {
+    /// A single accelerated instance with small defaults; chain setters
+    /// to describe the experiment.
+    pub fn new(app: AppKind) -> Self {
+        Self {
+            app,
+            accelerated: true,
+            instances: 1,
+            size: default_size(app),
+            passes: 4,
+            quantum: 1_000_000,
+            policy: PolicyKind::RoundRobin,
+            mode: DispatchMode::HardwareOnly,
+            with_software_alt: false,
+            pfus: 4,
+            tlb_capacity: 16,
+            costs: CostModel::default(),
+            share_circuits: false,
+            cycle_limit: 500_000_000_000,
+        }
+    }
+
+    /// Concurrent process instances (paper: 1–8).
+    pub fn instances(mut self, n: usize) -> Self {
+        self.instances = n;
+        self
+    }
+
+    /// Work units per pass (pixels / samples / blocks).
+    pub fn size(mut self, size: usize) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Passes over the data per process.
+    pub fn passes(mut self, passes: u32) -> Self {
+        self.passes = passes;
+        self
+    }
+
+    /// Scheduling quantum in cycles.
+    pub fn quantum(mut self, cycles: u64) -> Self {
+        self.quantum = cycles;
+        self
+    }
+
+    /// PFU replacement policy.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Contention resolution mode. [`DispatchMode::SoftwareFallback`]
+    /// implies registering the software alternatives.
+    pub fn mode(mut self, mode: DispatchMode) -> Self {
+        self.mode = mode;
+        if mode == DispatchMode::SoftwareFallback {
+            self.with_software_alt = true;
+        }
+        self
+    }
+
+    /// Use the pure-software program variant (no custom instructions).
+    pub fn software_only(mut self) -> Self {
+        self.accelerated = false;
+        self
+    }
+
+    /// Number of PFUs (paper: 4).
+    pub fn pfus(mut self, pfus: usize) -> Self {
+        self.pfus = pfus;
+        self
+    }
+
+    /// Dispatch-TLB capacity.
+    pub fn tlb_capacity(mut self, slots: usize) -> Self {
+        self.tlb_capacity = slots;
+        self
+    }
+
+    /// Override the kernel cost model.
+    pub fn costs(mut self, costs: CostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Enable §4.2 circuit sharing: same-image circuits share a PFU via
+    /// state-frame swaps. The paper's experiments disable this.
+    pub fn sharing(mut self, on: bool) -> Self {
+        self.share_circuits = on;
+        self
+    }
+
+    /// Safety valve for runaway runs.
+    pub fn cycle_limit(mut self, limit: u64) -> Self {
+        self.cycle_limit = limit;
+        self
+    }
+
+    /// Build the machine, spawn the instances and run to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (spawn failure, cycle limit).
+    pub fn run(&self) -> Result<ScenarioResult, KernelError> {
+        let mut cfg = WorkloadConfig::new(self.app, self.size, self.passes);
+        if !self.accelerated {
+            cfg = cfg.software();
+        }
+        let spec = WorkloadSpec::build(cfg);
+        let mut machine = Machine::new(MachineConfig {
+            kernel: KernelConfig {
+                quantum: self.quantum,
+                costs: self.costs,
+                policy: self.policy,
+                mode: self.mode,
+                default_mem: 1 << 20,
+                share_circuits: self.share_circuits,
+                ..KernelConfig::default()
+            },
+            rfu: RfuConfig { pfus: self.pfus, tlb_capacity: self.tlb_capacity, ..RfuConfig::default() },
+        });
+        for _ in 0..self.instances {
+            machine.spawn(spec.spawn_spec(self.with_software_alt))?;
+        }
+        let report = machine.run(self.cycle_limit)?;
+        let expected = spec.expected_checksum();
+        let finishes: Vec<u64> = report.exited.iter().map(|(_, f, _)| *f).collect();
+        let valid = report.killed.is_empty()
+            && report.exited.len() == self.instances
+            && report.exited.iter().all(|(_, _, code)| *code == expected);
+        Ok(ScenarioResult {
+            makespan: report.makespan,
+            finishes,
+            stats: report.stats,
+            valid,
+            expected_checksum: expected,
+        })
+    }
+}
+
+fn default_size(app: AppKind) -> usize {
+    match app {
+        AppKind::Alpha => 256,
+        AppKind::Echo => 512,
+        AppKind::Twofish => 16,
+    }
+}
+
+/// Outcome of a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioResult {
+    /// Completion time of the last process, in cycles (the paper's
+    /// y-axis).
+    pub makespan: u64,
+    /// Per-process finish cycles, PID order.
+    pub finishes: Vec<u64>,
+    /// Kernel management statistics.
+    pub stats: KernelStats,
+    /// All processes exited with the reference checksum.
+    pub valid: bool,
+    /// The reference checksum.
+    pub expected_checksum: u32,
+}
+
+impl ScenarioResult {
+    /// Whether every instance computed the correct result.
+    pub fn all_valid(&self) -> bool {
+        self.valid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_instance_valid_for_each_app() {
+        for app in AppKind::ALL {
+            let r = Scenario::new(app).size(16).passes(1).run().expect("run");
+            assert!(r.all_valid(), "{app:?}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn contention_appears_beyond_four_single_circuit_instances() {
+        // Workloads must span several quanta so the instances overlap in
+        // time: 5 alpha instances on 4 PFUs must evict; 4 must not.
+        let run = |n| {
+            Scenario::new(AppKind::Alpha)
+                .instances(n)
+                .size(64)
+                .passes(30)
+                .quantum(5_000)
+                .run()
+                .expect("run")
+        };
+        let no_contention = run(4);
+        assert_eq!(no_contention.stats.evictions, 0, "{:?}", no_contention.stats);
+        let contention = run(5);
+        assert!(contention.stats.evictions > 0, "{:?}", contention.stats);
+        assert!(contention.all_valid());
+    }
+
+    #[test]
+    fn echo_contends_at_three_instances() {
+        // Echo uses two circuits; with 4 PFUs, 2 instances fit, 3 thrash.
+        let run = |n| {
+            Scenario::new(AppKind::Echo)
+                .instances(n)
+                .size(128)
+                .passes(20)
+                .quantum(5_000)
+                .run()
+                .expect("run")
+        };
+        let fits = run(2);
+        assert_eq!(fits.stats.evictions, 0, "{:?}", fits.stats);
+        let thrash = run(3);
+        assert!(thrash.stats.evictions > 0, "{:?}", thrash.stats);
+        assert!(thrash.all_valid());
+    }
+
+    #[test]
+    fn software_fallback_mode_validates_under_contention() {
+        let r = Scenario::new(AppKind::Alpha)
+            .instances(6)
+            .size(64)
+            .passes(30)
+            .quantum(5_000)
+            .mode(DispatchMode::SoftwareFallback)
+            .run()
+            .expect("run");
+        assert!(r.all_valid());
+        assert!(r.stats.software_installs >= 2, "{:?}", r.stats);
+        assert_eq!(r.stats.evictions, 0, "{:?}", r.stats);
+    }
+}

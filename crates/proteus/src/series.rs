@@ -1,0 +1,159 @@
+//! Result series and CSV output.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One data point of a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// X value (typically the number of concurrent instances).
+    pub x: f64,
+    /// Y value (typically completion time in cycles).
+    pub y: f64,
+}
+
+/// A named line on a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. `"Alpha, Round Robin, 10ms"`.
+    pub name: String,
+    /// Points in x order.
+    pub points: Vec<Point>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), points: Vec::new() }
+    }
+
+    /// Append a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push(Point { x, y });
+    }
+
+    /// The y value at the given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points.iter().find(|p| p.x == x).map(|p| p.y)
+    }
+}
+
+/// A figure: a titled collection of series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSet {
+    /// Figure identifier, e.g. `"fig2"`.
+    pub figure: String,
+    /// All series.
+    pub series: Vec<Series>,
+}
+
+impl SeriesSet {
+    /// An empty figure.
+    pub fn new(figure: impl Into<String>) -> Self {
+        Self { figure: figure.into(), series: Vec::new() }
+    }
+
+    /// Append a series.
+    pub fn push(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Find a series by name.
+    pub fn series_named(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Long-format CSV: `figure,series,x,y`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("figure,series,x,y\n");
+        for s in &self.series {
+            for p in &s.points {
+                let _ = writeln!(out, "{},{},{},{}", self.figure, s.name, p.x, p.y);
+            }
+        }
+        out
+    }
+
+    /// Write the CSV to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Render an ASCII summary table (x columns, one row per series) for
+    /// terminal output.
+    pub fn to_table(&self) -> String {
+        let xs: Vec<f64> = {
+            let mut xs: Vec<f64> = self.series.iter().flat_map(|s| s.points.iter().map(|p| p.x)).collect();
+            xs.sort_by(f64::total_cmp);
+            xs.dedup();
+            xs
+        };
+        let name_w = self.series.iter().map(|s| s.name.len()).max().unwrap_or(6).max(6);
+        let mut out = format!("{:<name_w$}", "series");
+        for x in &xs {
+            let _ = write!(out, " {:>12}", format!("x={x}"));
+        }
+        out.push('\n');
+        for s in &self.series {
+            let _ = write!(out, "{:<name_w$}", s.name);
+            for x in &xs {
+                match s.y_at(*x) {
+                    Some(y) => {
+                        let _ = write!(out, " {y:>12.0}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>12}", "-");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_is_long_format() {
+        let mut set = SeriesSet::new("figX");
+        let mut s = Series::new("a");
+        s.push(1.0, 10.0);
+        s.push(2.0, 20.0);
+        set.push(s);
+        let csv = set.to_csv();
+        assert!(csv.starts_with("figure,series,x,y\n"));
+        assert!(csv.contains("figX,a,1,10"));
+        assert!(csv.contains("figX,a,2,20"));
+    }
+
+    #[test]
+    fn table_renders_missing_points_as_dash() {
+        let mut set = SeriesSet::new("f");
+        let mut a = Series::new("a");
+        a.push(1.0, 5.0);
+        let mut b = Series::new("b");
+        b.push(2.0, 6.0);
+        set.push(a);
+        set.push(b);
+        let t = set.to_table();
+        assert!(t.contains('-'));
+        assert!(t.contains("x=1"));
+        assert!(t.contains("x=2"));
+    }
+
+    #[test]
+    fn y_at_lookup() {
+        let mut s = Series::new("s");
+        s.push(3.0, 9.0);
+        assert_eq!(s.y_at(3.0), Some(9.0));
+        assert_eq!(s.y_at(4.0), None);
+    }
+}

@@ -1,0 +1,203 @@
+//! Content-addressable memory for the dispatch TLBs.
+//!
+//! A TLB is "a CAM used to store ID tuples which is used as an index into
+//! a RAM" (§4.2). [`Cam`] models both halves: fixed-capacity fully
+//! associative match on the `(PID, CID)` key, returning the RAM word.
+//! Slot choice is the OS's job (it programs the TLB), so insertion takes
+//! an explicit slot.
+
+/// The globally unique custom-instruction name: `(PID, CID)` (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleKey {
+    /// Process ID.
+    pub pid: u32,
+    /// Process-local Circuit ID.
+    pub cid: u8,
+}
+
+impl TupleKey {
+    /// Construct a key.
+    pub fn new(pid: u32, cid: u8) -> Self {
+        Self { pid, cid }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    key: TupleKey,
+    value: u32,
+}
+
+/// A fixed-capacity CAM + RAM pair.
+///
+/// # Example
+///
+/// ```
+/// use proteus_rfu::{Cam, TupleKey};
+///
+/// let mut tlb = Cam::new(4);
+/// let slot = tlb.free_slot().expect("empty TLB has free slots");
+/// tlb.insert(slot, TupleKey::new(7, 0), 2); // (PID 7, CID 0) -> PFU 2
+/// assert_eq!(tlb.lookup(TupleKey::new(7, 0)), Some(2));
+/// assert_eq!(tlb.lookup(TupleKey::new(8, 0)), None, "other PIDs miss");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cam {
+    slots: Vec<Option<Entry>>,
+}
+
+impl Cam {
+    /// A CAM with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "CAM needs at least one slot");
+        Self { slots: vec![None; capacity] }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// True if no slot is occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Associative lookup (the hardware fast path).
+    pub fn lookup(&self, key: TupleKey) -> Option<u32> {
+        self.slots.iter().flatten().find(|e| e.key == key).map(|e| e.value)
+    }
+
+    /// First free slot, if any.
+    pub fn free_slot(&self) -> Option<usize> {
+        self.slots.iter().position(Option::is_none)
+    }
+
+    /// Program `slot` with a mapping (OS operation). Replaces whatever
+    /// the slot held; if the same key is already present in another slot
+    /// that stale entry is invalidated, keeping keys unique.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn insert(&mut self, slot: usize, key: TupleKey, value: u32) {
+        for s in self.slots.iter_mut() {
+            if s.is_some_and(|e| e.key == key) {
+                *s = None;
+            }
+        }
+        self.slots[slot] = Some(Entry { key, value });
+    }
+
+    /// Invalidate the entry for `key`, returning its value if present.
+    pub fn invalidate(&mut self, key: TupleKey) -> Option<u32> {
+        for s in self.slots.iter_mut() {
+            if s.is_some_and(|e| e.key == key) {
+                return s.take().map(|e| e.value);
+            }
+        }
+        None
+    }
+
+    /// Invalidate every entry whose value matches `value` (e.g. all
+    /// tuples pointing at a PFU being unloaded). Returns how many were
+    /// dropped.
+    pub fn invalidate_value(&mut self, value: u32) -> usize {
+        let mut n = 0;
+        for s in self.slots.iter_mut() {
+            if s.is_some_and(|e| e.value == value) {
+                *s = None;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Invalidate every entry belonging to `pid` (process exit). Returns
+    /// how many were dropped.
+    pub fn invalidate_pid(&mut self, pid: u32) -> usize {
+        let mut n = 0;
+        for s in self.slots.iter_mut() {
+            if s.is_some_and(|e| e.key.pid == pid) {
+                *s = None;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Iterate over occupied entries as `(slot, key, value)`.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, TupleKey, u32)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|e| (i, e.key, e.value)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_hits_and_misses() {
+        let mut cam = Cam::new(4);
+        cam.insert(0, TupleKey::new(1, 0), 7);
+        cam.insert(1, TupleKey::new(2, 0), 8);
+        assert_eq!(cam.lookup(TupleKey::new(1, 0)), Some(7));
+        assert_eq!(cam.lookup(TupleKey::new(2, 0)), Some(8));
+        assert_eq!(cam.lookup(TupleKey::new(1, 1)), None);
+    }
+
+    #[test]
+    fn same_pfu_under_many_tuples() {
+        // Circuit sharing: several (PID, CID) tuples -> one PFU (§4.2).
+        let mut cam = Cam::new(4);
+        cam.insert(0, TupleKey::new(1, 0), 2);
+        cam.insert(1, TupleKey::new(1, 9), 2);
+        cam.insert(2, TupleKey::new(5, 3), 2);
+        assert_eq!(cam.lookup(TupleKey::new(1, 9)), Some(2));
+        assert_eq!(cam.invalidate_value(2), 3);
+        assert!(cam.is_empty());
+    }
+
+    #[test]
+    fn insert_keeps_keys_unique() {
+        let mut cam = Cam::new(4);
+        cam.insert(0, TupleKey::new(1, 0), 7);
+        cam.insert(3, TupleKey::new(1, 0), 9);
+        assert_eq!(cam.lookup(TupleKey::new(1, 0)), Some(9));
+        assert_eq!(cam.len(), 1);
+    }
+
+    #[test]
+    fn pid_invalidation_on_exit() {
+        let mut cam = Cam::new(4);
+        cam.insert(0, TupleKey::new(1, 0), 0);
+        cam.insert(1, TupleKey::new(1, 1), 1);
+        cam.insert(2, TupleKey::new(2, 0), 2);
+        assert_eq!(cam.invalidate_pid(1), 2);
+        assert_eq!(cam.lookup(TupleKey::new(2, 0)), Some(2));
+    }
+
+    #[test]
+    fn free_slot_tracking() {
+        let mut cam = Cam::new(2);
+        assert_eq!(cam.free_slot(), Some(0));
+        cam.insert(0, TupleKey::new(1, 0), 0);
+        assert_eq!(cam.free_slot(), Some(1));
+        cam.insert(1, TupleKey::new(1, 1), 1);
+        assert_eq!(cam.free_slot(), None);
+        cam.invalidate(TupleKey::new(1, 0));
+        assert_eq!(cam.free_slot(), Some(0));
+    }
+}

@@ -1,0 +1,50 @@
+//! The Reconfigurable Function Unit (RFU) of the Proteus architecture.
+//!
+//! This is the hardware half of the paper's contribution (§4): a function
+//! unit holding a set of Programmable Function Units (PFUs), a 16 × 32-bit
+//! coprocessor register file, and the **dispatch mechanism** of Figure 1:
+//!
+//! ```text
+//!  Exec (PID, CID) ──► TLB1 (CAM→RAM: tuple → PFU) ──hit──► clock PFU
+//!                         │ miss
+//!                         ▼
+//!                      TLB2 (CAM→RAM: tuple → address) ──hit──► branch+link
+//!                         │ miss
+//!                         ▼
+//!                  custom-instruction fault → operating system
+//! ```
+//!
+//! Faithfulness notes (all verified by tests):
+//!
+//! * TLB keys are `(PID, CID)` tuples, so nothing is flushed on a context
+//!   switch, and several tuples may map to one PFU (circuit sharing, §4.2).
+//! * Each PFU has a 1-bit status register feeding `done` back into `init`
+//!   (§4.4): an interrupted multi-cycle instruction resumes transparently
+//!   when reissued with `init` low. Status registers reset to 1.
+//! * Each PFU has a completion counter, incremented when an instruction
+//!   *completes* (not when it issues), readable and clearable by the OS
+//!   for LRU-style replacement (§4.5).
+//! * The operand block (§4.3) latches the two source operands, the
+//!   destination register and the return address on software dispatch;
+//!   `ldop`/`stres`/`retsd` use it, and the OS can save/restore it with
+//!   `mcro`/`mrco`.
+//!
+//! [`Rfu`] implements [`proteus_cpu::Coprocessor`], so plugging the unit
+//! into the core is one line. Circuits implement [`PfuCircuit`]; both
+//! behavioral models ([`behavioral`]) and real gate-level bitstream-backed
+//! circuits ([`NetlistCircuit`]) are provided.
+
+pub mod behavioral;
+pub mod cam;
+pub mod circuit;
+pub mod counters;
+pub mod pfu;
+pub mod regfile;
+pub mod unit;
+
+pub use cam::{Cam, TupleKey};
+pub use circuit::{CircuitClock, CircuitState, NetlistCircuit, PfuCircuit};
+pub use counters::UsageCounters;
+pub use pfu::{PfuArray, PfuIndex};
+pub use regfile::RegFile;
+pub use unit::{FaultInfo, Rfu, RfuConfig};

@@ -1,0 +1,227 @@
+//! The PFU array: circuit slots, status registers and completion
+//! counters.
+
+use crate::circuit::{CircuitState, PfuCircuit};
+use crate::counters::UsageCounters;
+
+/// Index of a PFU within the array.
+pub type PfuIndex = usize;
+
+/// Outcome of clocking a PFU through (part of) an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The circuit raised `done` after `cycles` clocks.
+    Done {
+        /// Result bus value on the completing cycle.
+        value: u32,
+        /// Clocks consumed (≥ 1).
+        cycles: u64,
+    },
+    /// The budget expired first; the status register now holds `init`
+    /// low so a later reissue resumes the instruction (§4.4).
+    OutOfBudget {
+        /// Clocks consumed (== the budget).
+        cycles: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Slot {
+    circuit: Option<Box<dyn PfuCircuit>>,
+    /// The 1-bit status register of §4.4. Reset value is 1 so the first
+    /// issue presents `init` high; thereafter `done` flows through it.
+    status: bool,
+}
+
+/// The array of Programmable Function Units.
+#[derive(Debug)]
+pub struct PfuArray {
+    slots: Vec<Slot>,
+    counters: UsageCounters,
+}
+
+impl PfuArray {
+    /// An array of `count` empty PFUs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(count: usize) -> Self {
+        assert!(count > 0, "need at least one PFU");
+        Self {
+            slots: (0..count).map(|_| Slot { circuit: None, status: true }).collect(),
+            counters: UsageCounters::new(count),
+        }
+    }
+
+    /// Number of PFUs.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the array has no PFUs (never; see [`PfuArray::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether `pfu` currently holds a circuit.
+    pub fn is_loaded(&self, pfu: PfuIndex) -> bool {
+        self.slots[pfu].circuit.is_some()
+    }
+
+    /// Indices of PFUs without a circuit.
+    pub fn free_pfus(&self) -> Vec<PfuIndex> {
+        (0..self.len()).filter(|&i| !self.is_loaded(i)).collect()
+    }
+
+    /// Full (re)configuration: install `circuit`, resetting the status
+    /// register to 1. Returns the evicted circuit and its status bit, if
+    /// any (the OS decides whether to save its state).
+    pub fn load(
+        &mut self,
+        pfu: PfuIndex,
+        circuit: Box<dyn PfuCircuit>,
+    ) -> Option<(Box<dyn PfuCircuit>, bool)> {
+        let slot = &mut self.slots[pfu];
+        let old_status = slot.status;
+        let old = slot.circuit.replace(circuit);
+        slot.status = true;
+        old.map(|c| (c, old_status))
+    }
+
+    /// Remove the circuit from `pfu`, returning it with its status bit.
+    pub fn unload(&mut self, pfu: PfuIndex) -> Option<(Box<dyn PfuCircuit>, bool)> {
+        let slot = &mut self.slots[pfu];
+        let status = slot.status;
+        let old = slot.circuit.take();
+        slot.status = true;
+        old.map(|c| (c, status))
+    }
+
+    /// Restore a previously saved status bit (used when swapping a
+    /// partially executed instruction back in).
+    pub fn set_status(&mut self, pfu: PfuIndex, status: bool) {
+        self.slots[pfu].status = status;
+    }
+
+    /// The status bit (true = next issue starts a fresh invocation).
+    pub fn status(&self, pfu: PfuIndex) -> bool {
+        self.slots[pfu].status
+    }
+
+    /// Save the loaded circuit's state frames without unloading.
+    pub fn save_state(&self, pfu: PfuIndex) -> Option<CircuitState> {
+        self.slots[pfu].circuit.as_ref().map(|c| c.save_state())
+    }
+
+    /// Clock `pfu` until `done` or until `budget` cycles elapse,
+    /// implementing the status-register init/done protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PFU is empty — the dispatch layer must check
+    /// [`PfuArray::is_loaded`] first.
+    pub fn run(&mut self, pfu: PfuIndex, op_a: u32, op_b: u32, budget: u64) -> RunOutcome {
+        let slot = &mut self.slots[pfu];
+        let circuit = slot.circuit.as_mut().expect("run on empty PFU");
+        let mut used = 0u64;
+        while used < budget {
+            let init = slot.status;
+            let out = circuit.clock(op_a, op_b, init);
+            slot.status = out.done;
+            used += 1;
+            if out.done {
+                self.counters.record_completion(pfu);
+                return RunOutcome::Done { value: out.result, cycles: used };
+            }
+        }
+        RunOutcome::OutOfBudget { cycles: used }
+    }
+
+    /// The completion-counter bank (§4.5).
+    pub fn counters(&self) -> &UsageCounters {
+        &self.counters
+    }
+
+    /// Mutable counter access (OS read-and-clear).
+    pub fn counters_mut(&mut self) -> &mut UsageCounters {
+        &mut self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavioral::FixedLatency;
+
+    fn add_circuit(latency: u32) -> Box<dyn PfuCircuit> {
+        Box::new(FixedLatency::new("add", latency, 4, |a, b| a.wrapping_add(b)))
+    }
+
+    #[test]
+    fn single_cycle_instruction() {
+        let mut arr = PfuArray::new(4);
+        arr.load(0, add_circuit(1));
+        match arr.run(0, 2, 3, 100) {
+            RunOutcome::Done { value: 5, cycles: 1 } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(arr.counters().read(0), 1);
+    }
+
+    #[test]
+    fn interrupt_and_reissue_resumes() {
+        let mut arr = PfuArray::new(1);
+        arr.load(0, add_circuit(10));
+        // First issue: budget 4 -> interrupted.
+        match arr.run(0, 1, 2, 4) {
+            RunOutcome::OutOfBudget { cycles: 4 } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!arr.status(0), "status holds init low for the reissue");
+        assert_eq!(arr.counters().read(0), 0, "no completion counted yet");
+        // Reissue: 6 more cycles finish the 10-cycle instruction.
+        match arr.run(0, 1, 2, 100) {
+            RunOutcome::Done { value: 3, cycles: 6 } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(arr.status(0), "status back to 1, ready for next invocation");
+        assert_eq!(arr.counters().read(0), 1, "counted once despite the interrupt");
+    }
+
+    #[test]
+    fn reconfiguration_resets_status() {
+        let mut arr = PfuArray::new(1);
+        arr.load(0, add_circuit(10));
+        arr.run(0, 1, 2, 3); // leave mid-instruction
+        assert!(!arr.status(0));
+        let evicted = arr.load(0, add_circuit(1));
+        assert!(evicted.is_some());
+        assert!(arr.status(0), "full reconfiguration resets the status register");
+    }
+
+    #[test]
+    fn swap_out_and_back_preserves_progress() {
+        let mut arr = PfuArray::new(1);
+        arr.load(0, add_circuit(10));
+        arr.run(0, 5, 6, 4);
+        let (circuit, status) = arr.unload(0).expect("loaded");
+        // Something else uses the PFU...
+        arr.load(0, add_circuit(1));
+        arr.run(0, 1, 1, 10);
+        // ...then the original comes back: circuit state + status bit.
+        arr.load(0, circuit);
+        arr.set_status(0, status);
+        match arr.run(0, 5, 6, 100) {
+            RunOutcome::Done { value: 11, cycles: 6 } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_pfus_reports_holes() {
+        let mut arr = PfuArray::new(3);
+        arr.load(1, add_circuit(1));
+        assert_eq!(arr.free_pfus(), vec![0, 2]);
+    }
+}

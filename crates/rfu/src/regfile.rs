@@ -1,0 +1,63 @@
+//! The RFU's 16 × 32-bit coprocessor register file (paper §5).
+
+/// Coprocessor register file.
+///
+/// By kernel convention register 15 holds the current PID (the
+/// workstation-class processor's PID register of §4.2); the kernel writes
+/// it on every context switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegFile {
+    regs: [u32; 16],
+}
+
+impl RegFile {
+    /// A zeroed register file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read register `index` (wraps at 16, like the 4-bit field).
+    pub fn read(&self, index: u8) -> u32 {
+        self.regs[(index & 0xF) as usize]
+    }
+
+    /// Write register `index`.
+    pub fn write(&mut self, index: u8, value: u32) {
+        self.regs[(index & 0xF) as usize] = value;
+    }
+
+    /// Snapshot for a context switch.
+    pub fn save(&self) -> [u32; 16] {
+        self.regs
+    }
+
+    /// Restore a snapshot.
+    pub fn restore(&mut self, regs: [u32; 16]) {
+        self.regs = regs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut rf = RegFile::new();
+        rf.write(3, 0xABCD);
+        assert_eq!(rf.read(3), 0xABCD);
+        assert_eq!(rf.read(4), 0);
+    }
+
+    #[test]
+    fn save_restore() {
+        let mut rf = RegFile::new();
+        rf.write(0, 1);
+        rf.write(15, 42);
+        let snap = rf.save();
+        rf.write(0, 99);
+        rf.restore(snap);
+        assert_eq!(rf.read(0), 1);
+        assert_eq!(rf.read(15), 42);
+    }
+}

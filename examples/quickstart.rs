@@ -1,0 +1,48 @@
+//! Quickstart: build a tiny machine, register a custom instruction and
+//! watch the OS manage it.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use porsche::kernel::SpawnSpec;
+use porsche::process::CircuitSpec;
+use proteus::machine::{Machine, MachineConfig};
+use proteus_isa::assemble;
+use proteus_rfu::behavioral::FixedLatency;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A guest program that multiplies two numbers with custom
+    // instruction CID 0, then exits with the result.
+    let program = assemble(
+        "start:
+            ldr   r0, =1234
+            ldr   r1, =5678
+            pfu   0, r2, r0, r1   ; custom instruction: multiply
+            mov   r0, r2
+            swi   #0              ; exit(r0)
+        ",
+    )?;
+
+    // The custom hardware: a 3-cycle multiplier circuit. On first use the
+    // process faults, POrSCHE loads the 54 KB configuration into a free
+    // PFU, programs the dispatch TLB with the (PID, CID) tuple, and
+    // reissues the instruction.
+    let circuit = FixedLatency::new("mul3", 3, 4, |a, b| a.wrapping_mul(b));
+
+    let mut machine = Machine::new(MachineConfig::default());
+    let pid = machine.spawn(
+        SpawnSpec::new(&program)
+            .circuit(CircuitSpec { cid: 0, circuit: Box::new(circuit), software_alt: None, image: None }),
+    )?;
+    let report = machine.run(10_000_000)?;
+
+    let (_, finish, result) = report.exited[0];
+    println!("process {pid} exited with {result} (= 1234 * 5678) after {finish} cycles");
+    println!(
+        "management: {} custom-instruction fault(s), {} configuration load(s), {} bytes of config moved",
+        report.stats.custom_faults,
+        report.stats.config_loads,
+        report.stats.config_bytes_moved(),
+    );
+    assert_eq!(result, 1234 * 5678);
+    Ok(())
+}

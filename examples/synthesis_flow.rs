@@ -1,0 +1,80 @@
+//! The full hardware flow an application developer would follow to create
+//! a custom instruction: describe logic as gates, synthesize to LUT4s,
+//! pack, place, inspect quality of result, compile to a bitstream, and
+//! run it under the OS.
+//!
+//! Run with `cargo run --example synthesis_flow`.
+
+use porsche::kernel::SpawnSpec;
+use porsche::process::CircuitSpec;
+use proteus::machine::{Machine, MachineConfig};
+use proteus_fabric::place::FabricDims;
+use proteus_fabric::synth::{pack_luts, synthesize, GateNetlist};
+use proteus_fabric::compile;
+use proteus_rfu::NetlistCircuit;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the instruction as technology-independent gates:
+    //    result = (op_a & op_b) ^ ~(op_a | op_b)  == XNOR per bit.
+    let mut g = GateNetlist::new();
+    let a = g.input_bus("op_a", 32);
+    let b = g.input_bus("op_b", 32);
+    let mut outs = Vec::new();
+    for i in 0..32 {
+        let and = g.and(vec![a[i], b[i]]);
+        let or = g.or(vec![a[i], b[i]]);
+        let nor = g.not(or);
+        outs.push(g.xor(vec![and, nor]));
+    }
+    g.output_bus("result", &outs);
+    // The PFU handshake: a combinational instruction completes in one
+    // cycle, so `done` is the constant-1 rail.
+    let done = g.constant(true);
+    g.output_bus("done", &[done]);
+    println!("gate design: {} gates", g.len());
+
+    // 2. Synthesize to LUT4s and pack logic cones.
+    let lowered = synthesize(&g)?;
+    let (packed, stats) = pack_luts(&lowered);
+    println!(
+        "synthesis: {} LUTs lowered -> {} after packing ({} merges)",
+        stats.luts_before, stats.luts_after, stats.merges
+    );
+    packed.check_pfu_interface()?;
+
+    // 3. Place, inspect wirelength, compile.
+    let compiled = compile(&packed, FabricDims::PFU)?;
+    println!(
+        "placement: {} CLBs used, wirelength {} grid units",
+        compiled.placement().used_clbs,
+        compiled.wirelength(&packed)
+    );
+    println!(
+        "bitstream: {} bytes static + {} bytes state",
+        compiled.bitstream().static_bytes(),
+        compiled.bitstream().state_bytes()
+    );
+
+    // 4. Register it as a custom instruction and use it from guest code.
+    let program = proteus_isa::assemble(
+        "start:\n\
+         \x20   ldr r0, =0xF0F0F0F0\n\
+         \x20   ldr r1, =0xFF00FF00\n\
+         \x20   pfu 0, r2, r0, r1\n\
+         \x20   mov r0, r2\n\
+         \x20   swi #0\n",
+    )?;
+    let entry = program.symbol("start").expect("start");
+    let mut machine = Machine::new(MachineConfig::default());
+    machine.spawn(SpawnSpec::new(&program).entry(entry).circuit(CircuitSpec {
+        cid: 0,
+        circuit: Box::new(NetlistCircuit::new(compiled.bitstream())?),
+        software_alt: None,
+        image: None,
+    }))?;
+    let report = machine.run(10_000_000)?;
+    let result = report.exited[0].2;
+    println!("guest computed XNOR(0xF0F0F0F0, 0xFF00FF00) = {result:#010x}");
+    assert_eq!(result, !(0xF0F0_F0F0u32 ^ 0xFF00_FF00));
+    Ok(())
+}
