@@ -1,46 +1,30 @@
-//! Criterion bench over the Figure 2 configuration space (Basic
-//! Scheduling Test): completion time of N concurrent instances per
-//! {application × policy × quantum}, at a reduced workload scale so the
-//! whole grid stays benchable.
+//! Criterion bench over the Figure 2 experiment plan (Basic Scheduling
+//! Test): executes the same declarative [`proteus::experiment::fig2_plan`]
+//! the `repro` binary runs, at a reduced workload scale, across worker
+//! counts — measuring both the simulation grid and the worker pool's
+//! scheduling overhead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use porsche::policy::PolicyKind;
-use proteus::experiment::{QUANTUM_10MS, QUANTUM_1MS};
-use proteus::scenario::Scenario;
-use proteus_apps::AppKind;
+use proteus::experiment::{fig2_plan, Scale};
+
+fn bench_scale() -> Scale {
+    Scale { target_cycles: 100_000, max_instances: 2, seed: 2003 }
+}
 
 fn bench_fig2(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_basic_scheduling");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(700));
-    for app in [AppKind::Echo, AppKind::Alpha, AppKind::Twofish] {
-        for (policy, pname) in
-            [(PolicyKind::RoundRobin, "rr"), (PolicyKind::Random { seed: 2003 }, "rand")]
-        {
-            for (quantum, qname) in [(QUANTUM_10MS, "10ms"), (QUANTUM_1MS, "1ms")] {
-                for n in [1usize, 4, 6, 8] {
-                    let id = BenchmarkId::new(
-                        format!("{}_{}_{}", app.name(), pname, qname),
-                        n,
-                    );
-                    group.bench_function(id, |b| {
-                        b.iter(|| {
-                            let result = Scenario::new(app)
-                                .instances(n)
-                                .size(64)
-                                .passes(8)
-                                .quantum(quantum)
-                                .policy(policy)
-                                .run()
-                                .expect("fig2 bench run");
-                            assert!(result.all_valid());
-                            result.makespan
-                        })
-                    });
-                }
-            }
-        }
+    let scale = bench_scale();
+    for jobs in [1usize, 2, 4] {
+        group.bench_function(BenchmarkId::new("plan_execute", jobs), |b| {
+            b.iter(|| {
+                let (set, metrics) = fig2_plan(&scale).execute(jobs);
+                assert_eq!(set.series.len(), 12);
+                metrics.sim_cycles
+            })
+        });
     }
     group.finish();
 }

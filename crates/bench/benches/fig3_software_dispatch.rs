@@ -1,46 +1,29 @@
-//! Criterion bench over the Figure 3 configuration space (Software
-//! Dispatch Test): circuit switching vs. deferring to the registered
-//! software alternative under contention.
+//! Criterion bench over the Figure 3 experiment plan (Software Dispatch
+//! Test): executes the declarative [`proteus::experiment::fig3_plan`]
+//! (circuit switching vs. deferring to the registered software
+//! alternative) at a reduced workload scale, across worker counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use porsche::cis::DispatchMode;
-use porsche::policy::PolicyKind;
-use proteus::experiment::{QUANTUM_10MS, QUANTUM_1MS};
-use proteus::scenario::Scenario;
-use proteus_apps::AppKind;
+use proteus::experiment::{fig3_plan, Scale};
+
+fn bench_scale() -> Scale {
+    Scale { target_cycles: 100_000, max_instances: 2, seed: 2003 }
+}
 
 fn bench_fig3(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_software_dispatch");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(700));
-    for app in [AppKind::Echo, AppKind::Alpha] {
-        for (mode, mname) in [
-            (DispatchMode::HardwareOnly, "swap"),
-            (DispatchMode::SoftwareFallback, "soft"),
-        ] {
-            for (quantum, qname) in [(QUANTUM_10MS, "10ms"), (QUANTUM_1MS, "1ms")] {
-                for n in [2usize, 6, 8] {
-                    let id =
-                        BenchmarkId::new(format!("{}_{}_{}", app.name(), mname, qname), n);
-                    group.bench_function(id, |b| {
-                        b.iter(|| {
-                            let result = Scenario::new(app)
-                                .instances(n)
-                                .size(64)
-                                .passes(8)
-                                .quantum(quantum)
-                                .policy(PolicyKind::RoundRobin)
-                                .mode(mode)
-                                .run()
-                                .expect("fig3 bench run");
-                            assert!(result.all_valid());
-                            result.makespan
-                        })
-                    });
-                }
-            }
-        }
+    let scale = bench_scale();
+    for jobs in [1usize, 2, 4] {
+        group.bench_function(BenchmarkId::new("plan_execute", jobs), |b| {
+            b.iter(|| {
+                let (set, metrics) = fig3_plan(&scale).execute(jobs);
+                assert_eq!(set.series.len(), 12);
+                metrics.sim_cycles
+            })
+        });
     }
     group.finish();
 }

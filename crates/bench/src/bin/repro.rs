@@ -1,21 +1,28 @@
 //! Regenerate every figure and claim of the paper's evaluation.
 //!
 //! ```text
-//! repro [--quick] [fig2] [fig3] [speedup] [policies] [quanta] [pfus]
+//! repro [--quick] [--jobs N] [--out DIR]
+//!       [fig2] [fig3] [speedup] [policies] [quanta] [pfus]
 //!       [config-split] [tlb] [longinstr] [soft-crossover] [sharing] [dynamic] [all]
 //! ```
 //!
-//! With no experiment names, runs `all`. Results are printed as tables
-//! and written as long-format CSVs into `results/`.
+//! With no experiment names, runs `all`. Each experiment is a
+//! declarative [`proteus::runner::ExperimentPlan`] executed on a worker
+//! pool of `--jobs` threads (default: the host's available
+//! parallelism). Result assembly is deterministic, so the CSVs are
+//! **byte-identical at any `--jobs` value** — only wall time changes.
+//!
+//! Results are printed as tables and written as long-format CSVs into
+//! `--out` (default `results/`), alongside `summary.json` with per-figure
+//! and total wall time, job counts and simulated-cycles-per-host-second
+//! throughput.
 
+use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
-use proteus::experiment::{
-    ablation_config_split, ablation_long_instructions, ablation_pfus, ablation_policies,
-    ablation_quanta, ablation_sharing, ablation_soft_crossover, ablation_tlb, dynamic_load,
-    fig2, fig3, speedup, Scale,
-};
+use proteus::experiment::{plan_for, Scale, EXPERIMENTS};
+use proteus::runner::{default_workers, PlanMetrics};
 use proteus::series::SeriesSet;
 
 fn emit(set: &SeriesSet, outdir: &Path) {
@@ -29,59 +36,159 @@ fn emit(set: &SeriesSet, outdir: &Path) {
     println!();
 }
 
+/// Escape a string for inclusion in a JSON document (the summary has no
+/// exotic characters, but stay correct anyway).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn metrics_json(m: &PlanMetrics, indent: &str) -> String {
+    format!(
+        "{indent}{{\n\
+         {indent}  \"figure\": \"{}\",\n\
+         {indent}  \"jobs\": {},\n\
+         {indent}  \"workers\": {},\n\
+         {indent}  \"wall_seconds\": {:.6},\n\
+         {indent}  \"job_wall_seconds\": {:.6},\n\
+         {indent}  \"sim_cycles\": {},\n\
+         {indent}  \"sim_cycles_per_host_second\": {:.1}\n\
+         {indent}}}",
+        json_escape(&m.figure),
+        m.jobs,
+        m.workers,
+        m.wall.as_secs_f64(),
+        m.job_wall.as_secs_f64(),
+        m.sim_cycles,
+        m.sim_cycles_per_host_second(),
+    )
+}
+
+/// Hand-rolled `summary.json` (the workspace carries no JSON
+/// dependency; the schema is small and fixed).
+fn summary_json(
+    metrics: &[PlanMetrics],
+    workers: usize,
+    quick: bool,
+    total_wall_seconds: f64,
+) -> String {
+    let total_jobs: usize = metrics.iter().map(|m| m.jobs).sum();
+    let total_job_wall: f64 = metrics.iter().map(|m| m.job_wall.as_secs_f64()).sum();
+    let total_cycles: u64 = metrics.iter().map(|m| m.sim_cycles).sum();
+    let throughput =
+        if total_wall_seconds > 0.0 { total_cycles as f64 / total_wall_seconds } else { 0.0 };
+    let per_figure: Vec<String> = metrics.iter().map(|m| metrics_json(m, "    ")).collect();
+    format!(
+        "{{\n\
+         \x20 \"workers\": {workers},\n\
+         \x20 \"quick\": {quick},\n\
+         \x20 \"experiments\": [\n{}\n  ],\n\
+         \x20 \"total\": {{\n\
+         \x20   \"jobs\": {total_jobs},\n\
+         \x20   \"wall_seconds\": {total_wall_seconds:.6},\n\
+         \x20   \"job_wall_seconds\": {total_job_wall:.6},\n\
+         \x20   \"sim_cycles\": {total_cycles},\n\
+         \x20   \"sim_cycles_per_host_second\": {throughput:.1}\n\
+         \x20 }}\n\
+         }}\n",
+        per_figure.join(",\n"),
+    )
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--quick] [--jobs N] [--out DIR] [experiment...|all]\n\
+         experiments: {}",
+        EXPERIMENTS.join(" ")
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let scale = if quick { Scale::quick() } else { Scale::full() };
-    let mut wanted: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
-    if wanted.is_empty() {
-        wanted.push("all");
+    let mut quick = false;
+    let mut jobs = default_workers();
+    let mut outdir = String::from("results");
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--jobs" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok().filter(|n| *n > 0))
+                else {
+                    eprintln!("--jobs needs a positive integer");
+                    usage();
+                };
+                jobs = n;
+            }
+            "--out" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--out needs a directory");
+                    usage();
+                };
+                outdir = dir;
+            }
+            "--help" | "-h" => usage(),
+            name if name.starts_with("--") => {
+                eprintln!("unknown flag {name}");
+                usage();
+            }
+            name => wanted.push(name.to_string()),
+        }
     }
-    let all = wanted.contains(&"all");
-    let want = |name: &str| all || wanted.contains(&name);
+    if wanted.is_empty() {
+        wanted.push("all".into());
+    }
+    let all = wanted.contains(&"all".to_string());
+    for name in &wanted {
+        if name != "all" && !EXPERIMENTS.contains(&name.as_str()) {
+            eprintln!("unknown experiment {name}");
+            usage();
+        }
+    }
 
-    let outdir = Path::new("results");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let outdir = Path::new(&outdir);
     if let Err(e) = std::fs::create_dir_all(outdir) {
         eprintln!("could not create {}: {e}", outdir.display());
     }
 
     let t0 = Instant::now();
-    if want("fig2") {
-        emit(&fig2(&scale), outdir);
+    let mut metrics: Vec<PlanMetrics> = Vec::new();
+    for name in EXPERIMENTS {
+        if !(all || wanted.iter().any(|w| w == name)) {
+            continue;
+        }
+        let plan = plan_for(name, &scale).expect("registry covers EXPERIMENTS");
+        let (set, m) = plan.execute(jobs);
+        println!(
+            "[{name}] {} jobs on {} workers in {:.2}s ({:.2e} sim cycles/s)",
+            m.jobs,
+            m.workers,
+            m.wall.as_secs_f64(),
+            m.sim_cycles_per_host_second(),
+        );
+        emit(&set, outdir);
+        metrics.push(m);
     }
-    if want("fig3") {
-        emit(&fig3(&scale), outdir);
+    let total_wall = t0.elapsed().as_secs_f64();
+
+    let summary = summary_json(&metrics, jobs, quick, total_wall);
+    let summary_path = outdir.join("summary.json");
+    match std::fs::write(&summary_path, &summary) {
+        Ok(()) => println!("wrote {}", summary_path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", summary_path.display()),
     }
-    if want("speedup") {
-        emit(&speedup(&scale), outdir);
-    }
-    if want("policies") {
-        emit(&ablation_policies(&scale), outdir);
-    }
-    if want("quanta") {
-        emit(&ablation_quanta(&scale), outdir);
-    }
-    if want("pfus") {
-        emit(&ablation_pfus(&scale), outdir);
-    }
-    if want("config-split") {
-        emit(&ablation_config_split(&scale), outdir);
-    }
-    if want("tlb") {
-        emit(&ablation_tlb(&scale), outdir);
-    }
-    if want("longinstr") {
-        emit(&ablation_long_instructions(), outdir);
-    }
-    if want("soft-crossover") {
-        emit(&ablation_soft_crossover(&scale), outdir);
-    }
-    if want("sharing") {
-        emit(&ablation_sharing(&scale), outdir);
-    }
-    if want("dynamic") {
-        emit(&dynamic_load(&scale), outdir);
-    }
-    println!("done in {:.1}s (scale: {scale:?})", t0.elapsed().as_secs_f64());
+    println!("done in {total_wall:.1}s with {jobs} worker(s) (scale: {scale:?})");
 }

@@ -4,6 +4,12 @@
 //!
 //! * the `repro` binary (`cargo run -p proteus-bench --bin repro
 //!   --release`) regenerates every figure of the paper's evaluation and
-//!   every DESIGN.md ablation as tables + CSVs under `results/`;
-//! * Criterion benches (`cargo bench`) time representative slices of the
-//!   same experiments plus the substrate microbenchmarks.
+//!   every DESIGN.md ablation as tables + CSVs under `results/`
+//!   (override with `--out`). Experiments run as declarative
+//!   [`proteus::runner::ExperimentPlan`]s on a `--jobs N` worker pool
+//!   (default: host parallelism); assembly is deterministic, so output
+//!   is byte-identical at any job count. `results/summary.json` records
+//!   per-figure and total wall time plus
+//!   simulated-cycles-per-host-second throughput;
+//! * Criterion benches (`cargo bench`) time the figure plans at several
+//!   worker counts plus the substrate microbenchmarks.

@@ -69,7 +69,9 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
                 rd,
                 rn,
                 offset: proteus_isa::instr::MemOffset::Imm(imm),
-                up,
+                // A zero offset is canonically an addition (there is no
+                // negative zero).
+                up: up || imm == 0,
                 pre,
                 // Post-indexed access always writes back (the bit is a
                 // don't-care the assembly form cannot express).

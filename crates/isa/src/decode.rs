@@ -30,7 +30,12 @@ fn reg(word: u32, lsb: u32) -> Reg {
 }
 
 fn shift(word: u32, lsb: u32) -> Shift {
-    Shift { kind: ShiftKind::from_bits(word >> (lsb + 5)), amount: ((word >> lsb) & 0x1F) as u8 }
+    let amount = ((word >> lsb) & 0x1F) as u8;
+    // Canonical zero-amount shift is `lsl #0` whatever the kind bits
+    // say: every kind passes the value through at amount 0 (see
+    // `crate::encode` module docs, "Canonical forms").
+    let kind = if amount == 0 { ShiftKind::Lsl } else { ShiftKind::from_bits(word >> (lsb + 5)) };
+    Shift { kind, amount }
 }
 
 /// Decode one instruction word.
@@ -49,9 +54,19 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
             let op2 = if class < 2 {
                 Operand2::Reg { reg: reg(word, 8), shift: shift(word, 1) }
             } else {
-                Operand2::Imm { value: (word & 0xFF) as u8, rot: ((word >> 8) & 0xF) as u8 }
+                // Canonical immediate: re-derive the lowest rotation for
+                // the denoted constant (zero encodes under every
+                // rotation; the assembler always picks the lowest).
+                let denoted =
+                    Operand2::imm_value((word & 0xFF) as u8, ((word >> 8) & 0xF) as u8);
+                Operand2::try_imm(denoted)
+                    .expect("every imm8/rot4 constant has a lowest-rotation form")
             };
-            Instr::DataProc { op, cond, s, rd: reg(word, 16), rn: reg(word, 12), op2 }
+            // Canonical ignored fields: tests have no destination, moves
+            // have no first operand.
+            let rd = if op.is_test() { Reg::from_bits(0) } else { reg(word, 16) };
+            let rn = if op.is_move() { Reg::from_bits(0) } else { reg(word, 12) };
+            Instr::DataProc { op, cond, s, rd, rn, op2 }
         }
         0x4 => Instr::Mul {
             cond,
@@ -68,15 +83,20 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
             } else {
                 MemOffset::Reg(reg(word, 7), shift(word, 0))
             };
+            // Canonical addressing: a zero immediate offset is an
+            // addition (no negative zero) and post-indexed accesses
+            // always write back — the CPU honours both either way, and
+            // the assembly form cannot express the redundant variants.
+            let pre = word >> 21 & 1 == 1;
             Instr::Mem {
                 op,
                 cond,
                 byte: word >> 22 & 1 == 1,
-                pre: word >> 21 & 1 == 1,
-                up: word >> 20 & 1 == 1,
+                pre,
+                up: word >> 20 & 1 == 1 || matches!(offset, MemOffset::Imm(0)),
                 rd: reg(word, 16),
                 rn: reg(word, 12),
-                writeback: word >> 11 & 1 == 1,
+                writeback: word >> 11 & 1 == 1 || !pre,
                 offset,
             }
         }
@@ -144,19 +164,23 @@ mod tests {
                 // Test ops force S semantically; encoder stores the class
                 // bit, decoder normalises.
                 let s_eff = s || op.is_test();
+                // Canonical ignored fields (see encode module docs).
+                let rd = if op.is_test() { Reg::new(0) } else { Reg::new(3) };
+                let rn = if op.is_move() { Reg::new(0) } else { Reg::new(4) };
                 roundtrip(Instr::DataProc {
                     op,
                     cond: Cond::Ne,
                     s: s_eff,
-                    rd: Reg::new(3),
-                    rn: Reg::new(4),
+                    rd,
+                    rn,
                     op2: Operand2::Imm { value: 0x42, rot: 5 },
                 });
+                let rd = if op.is_test() { Reg::new(0) } else { Reg::new(15) };
                 roundtrip(Instr::DataProc {
                     op,
                     cond: Cond::Al,
                     s: s_eff,
-                    rd: Reg::new(15),
+                    rd,
                     rn: Reg::new(0),
                     op2: Operand2::Reg {
                         reg: Reg::new(9),
@@ -197,7 +221,8 @@ mod tests {
             offset: MemOffset::Reg(Reg::new(9), Shift { kind: ShiftKind::Lsl, amount: 2 }),
             up: true,
             pre: false,
-            writeback: false,
+            // Post-indexed accesses always write back (canonical form).
+            writeback: true,
         });
     }
 

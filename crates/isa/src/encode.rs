@@ -32,12 +32,36 @@
 //!                6 mrco  [19:16] field     [15:12] rd
 //! classes 0xC–0xF are undefined and fault.
 //! ```
+//!
+//! # Canonical forms
+//!
+//! Several field combinations are redundant: they denote the same
+//! operation as another encoding. The encoder always emits — and
+//! [`crate::decode`] always returns — the *canonical* choice, so
+//! `encode ∘ decode` is the identity on canonical words and the
+//! disassembly of any decoded instruction re-assembles to the same
+//! word (DESIGN.md §2, "one text form per operation"):
+//!
+//! * a **zero-amount shift** passes the value through whatever its
+//!   kind; canonical kind is `lsl` (the text form drops it entirely);
+//! * an **immediate operand** whose value has several `(imm8, rot)`
+//!   representations (e.g. zero) uses the lowest rotation, matching
+//!   the assembler's choice;
+//! * **test ops** (`tst`/`teq`/`cmp`/`cmn`) ignore `rd` and always set
+//!   flags; canonical `rd` is `r0` and `s` is set. **Moves** ignore
+//!   `rn`; canonical `rn` is `r0`;
+//! * a **zero immediate memory offset** is an addition (`up`): there is
+//!   no negative zero;
+//! * a **post-indexed access** always writes the address back; the
+//!   writeback bit is canonically set when `pre` is clear.
 
-use crate::instr::{BlockOp, Instr, MemOffset, MemOp, Operand2, Shift};
+use crate::instr::{BlockOp, Instr, MemOffset, MemOp, Operand2, Shift, ShiftKind};
 
 fn shift_bits(shift: Shift) -> u32 {
     assert!(shift.amount < 32, "shift amount {} out of range", shift.amount);
-    (shift.kind.bits() << 5) | u32::from(shift.amount)
+    // Canonical zero-amount shift is `lsl #0` (pass-through).
+    let kind = if shift.amount == 0 { ShiftKind::Lsl } else { shift.kind };
+    (kind.bits() << 5) | u32::from(shift.amount)
 }
 
 /// Encode an instruction into its 32-bit word.
@@ -51,27 +75,41 @@ fn shift_bits(shift: Shift) -> u32 {
 pub fn encode(instr: Instr) -> u32 {
     let cond = instr.cond().bits() << 28;
     let body = match instr {
-        Instr::DataProc { op, s, rd, rn, op2, .. } => match op2 {
-            Operand2::Reg { reg, shift } => {
-                let class = if s { 0x1 } else { 0x0 };
-                (class << 24)
-                    | (op.bits() << 20)
-                    | (rd.bits() << 16)
-                    | (rn.bits() << 12)
-                    | (reg.bits() << 8)
-                    | (shift_bits(shift) << 1)
+        Instr::DataProc { op, s, rd, rn, op2, .. } => {
+            // Canonical ignored fields: tests have no destination, moves
+            // have no first operand.
+            let s = s || op.is_test();
+            let rd_bits = if op.is_test() { 0 } else { rd.bits() };
+            let rn_bits = if op.is_move() { 0 } else { rn.bits() };
+            match op2 {
+                Operand2::Reg { reg, shift } => {
+                    let class = if s { 0x1 } else { 0x0 };
+                    (class << 24)
+                        | (op.bits() << 20)
+                        | (rd_bits << 16)
+                        | (rn_bits << 12)
+                        | (reg.bits() << 8)
+                        | (shift_bits(shift) << 1)
+                }
+                Operand2::Imm { value, rot } => {
+                    assert!(rot < 16, "rotation {rot} out of range");
+                    // Canonical immediate: lowest rotation denoting the
+                    // same constant (zero in particular encodes with
+                    // every rotation).
+                    let (value, rot) = match Operand2::try_imm(Operand2::imm_value(value, rot)) {
+                        Some(Operand2::Imm { value, rot }) => (value, rot),
+                        _ => (value, rot),
+                    };
+                    let class = if s { 0x3 } else { 0x2 };
+                    (class << 24)
+                        | (op.bits() << 20)
+                        | (rd_bits << 16)
+                        | (rn_bits << 12)
+                        | (u32::from(rot) << 8)
+                        | u32::from(value)
+                }
             }
-            Operand2::Imm { value, rot } => {
-                assert!(rot < 16, "rotation {rot} out of range");
-                let class = if s { 0x3 } else { 0x2 };
-                (class << 24)
-                    | (op.bits() << 20)
-                    | (rd.bits() << 16)
-                    | (rn.bits() << 12)
-                    | (u32::from(rot) << 8)
-                    | u32::from(value)
-            }
-        },
+        }
         Instr::Mul { s, rd, rm, rs, acc, .. } => {
             (0x4 << 24)
                 | (u32::from(acc.is_some()) << 23)
@@ -83,6 +121,11 @@ pub fn encode(instr: Instr) -> u32 {
         }
         Instr::Mem { op, byte, rd, rn, offset, up, pre, writeback, .. } => {
             let load = matches!(op, MemOp::Ldr);
+            // Canonical addressing: a zero immediate offset is an
+            // addition (no negative zero) and post-indexed accesses
+            // always write back.
+            let up = up || matches!(offset, MemOffset::Imm(0));
+            let writeback = writeback || !pre;
             let head = (u32::from(load) << 23)
                 | (u32::from(byte) << 22)
                 | (u32::from(pre) << 21)

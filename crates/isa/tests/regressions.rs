@@ -1,0 +1,103 @@
+//! Pinned encode/decode regressions.
+//!
+//! Each test fixes one instruction that the `props_isa` property tests
+//! once caught violating `encode ∘ decode = identity` (the seeds live
+//! in `crates/integration/tests/props_isa.proptest-regressions`). All
+//! four are redundant encodings the ISA now canonicalises — see the
+//! "Canonical forms" section of the `encode` module docs. Pinning them
+//! as plain `#[test]`s keeps the fixes from regressing even if the
+//! proptest seeds are pruned or the property-test runner changes.
+
+use proteus_isa::instr::MemOffset;
+use proteus_isa::{
+    assemble, decode, encode, Cond, DpOp, Instr, MemOp, Operand2, Reg, Shift, ShiftKind,
+};
+
+/// Decode `word`, assert it yields exactly `canonical`, and assert the
+/// canonical instruction round-trips through its own word and its
+/// disassembly text.
+fn assert_canonical(word: u32, canonical: Instr, canonical_word: u32) {
+    let decoded = decode(word).unwrap_or_else(|e| panic!("{word:#010x} must decode: {e}"));
+    assert_eq!(decoded, canonical, "decode of {word:#010x}");
+    assert_eq!(encode(decoded), canonical_word, "re-encode of {word:#010x}");
+    let again = decode(canonical_word).expect("canonical word decodes");
+    assert_eq!(again, canonical, "decode of canonical {canonical_word:#010x}");
+    // The text form is part of the canonicalisation contract: the
+    // disassembly of any decoded instruction re-assembles to the
+    // canonical word.
+    let text = canonical.to_string();
+    let program = assemble(&text).unwrap_or_else(|e| panic!("`{text}` must assemble: {e}"));
+    assert_eq!(program.words(), &[canonical_word], "assembly of `{text}`");
+}
+
+fn mem_str_zero_offset(up: bool, writeback: bool) -> Instr {
+    Instr::Mem {
+        op: MemOp::Str,
+        cond: Cond::Eq,
+        byte: false,
+        rd: Reg::new(0),
+        rn: Reg::new(0),
+        offset: MemOffset::Imm(0),
+        up,
+        pre: false,
+        writeback,
+    }
+}
+
+fn dataproc_eq(op: DpOp, s: bool, rd: Reg, op2: Operand2) -> Instr {
+    Instr::DataProc { op, cond: Cond::Eq, s, rd, rn: Reg::new(0), op2 }
+}
+
+/// `str r0, [r0], #-0`: a zero immediate offset with the up bit clear.
+/// Subtracting zero is adding zero, so the canonical form sets `up`
+/// (and, being post-indexed, `writeback`).
+#[test]
+fn zero_offset_store_has_no_negative_zero() {
+    assert_canonical(0x0500_0000, mem_str_zero_offset(true, true), 0x0510_0800);
+    // Constructing the non-canonical variant directly still encodes to
+    // the canonical word.
+    assert_eq!(encode(mem_str_zero_offset(false, false)), 0x0510_0800);
+}
+
+/// `tsteq r0, #0` with a stray destination register: TST ignores `rd`,
+/// so the canonical encoding zeroes the field.
+#[test]
+fn tst_ignores_destination_register() {
+    let imm0 = Operand2::Imm { value: 0, rot: 0 };
+    assert_canonical(
+        0x0381_0000,
+        dataproc_eq(DpOp::Tst, true, Reg::new(0), imm0),
+        0x0380_0000,
+    );
+    assert_eq!(encode(dataproc_eq(DpOp::Tst, true, Reg::new(1), imm0)), 0x0380_0000);
+}
+
+/// `andeq r0, r0, #0` denoted with rotation 1: zero encodes under every
+/// rotation, and the canonical immediate uses the lowest.
+#[test]
+fn rotated_zero_immediate_uses_lowest_rotation() {
+    assert_canonical(
+        0x0200_0100,
+        dataproc_eq(DpOp::And, false, Reg::new(0), Operand2::Imm { value: 0, rot: 0 }),
+        0x0200_0000,
+    );
+    let noncanonical =
+        dataproc_eq(DpOp::And, false, Reg::new(0), Operand2::Imm { value: 0, rot: 1 });
+    assert_eq!(encode(noncanonical), 0x0200_0000);
+}
+
+/// `andeq r0, r0, r0` with shift kind LSR at amount 0: every kind
+/// passes the value through at amount 0, so the canonical kind is LSL.
+#[test]
+fn zero_amount_shift_is_canonically_lsl() {
+    let shifted = |kind| Operand2::Reg { reg: Reg::new(0), shift: Shift { kind, amount: 0 } };
+    assert_canonical(
+        0x0000_0040,
+        dataproc_eq(DpOp::And, false, Reg::new(0), shifted(ShiftKind::Lsl)),
+        0x0000_0000,
+    );
+    assert_eq!(
+        encode(dataproc_eq(DpOp::And, false, Reg::new(0), shifted(ShiftKind::Lsr))),
+        0x0000_0000
+    );
+}

@@ -1,20 +1,29 @@
 //! Generators for every figure of the paper's evaluation plus the
 //! DESIGN.md ablations.
 //!
-//! | ID   | Paper artifact | Function |
-//! |------|----------------|----------|
-//! | Fig2 | Basic Scheduling Test (12 series) | [`fig2`] |
-//! | Fig3 | Software Dispatch Test (8 plotted + twofish) | [`fig3`] |
-//! | T-acc| "order of magnitude faster than unaccelerated" | [`speedup`] |
-//! | A1   | replacement policy comparison | [`ablation_policies`] |
-//! | A2   | quantum sweep incl. the 100 ms NT/BSD point | [`ablation_quanta`] |
-//! | A3   | PFU count sweep | [`ablation_pfus`] |
-//! | A4   | split vs. full configuration save | [`ablation_config_split`] |
-//! | A5   | dispatch-TLB capacity | [`ablation_tlb`] |
-//! | A6   | interruptible long instructions | [`ablation_long_instructions`] |
-//! | A7   | software-dispatch crossover vs. quantum | [`ablation_soft_crossover`] |
-//! | A8   | circuit sharing on/off | [`ablation_sharing`] |
-//! | D1   | dynamic arrival loads (§6 future work) | [`dynamic_load`] |
+//! | ID   | Paper artifact | Plan |
+//! |------|----------------|------|
+//! | Fig2 | Basic Scheduling Test (12 series) | [`fig2_plan`] |
+//! | Fig3 | Software Dispatch Test (8 plotted + twofish) | [`fig3_plan`] |
+//! | T-acc| "order of magnitude faster than unaccelerated" | [`speedup_plan`] |
+//! | A1   | replacement policy comparison | [`ablation_policies_plan`] |
+//! | A2   | quantum sweep incl. the 100 ms NT/BSD point | [`ablation_quanta_plan`] |
+//! | A3   | PFU count sweep | [`ablation_pfus_plan`] |
+//! | A4   | split vs. full configuration save | [`ablation_config_split_plan`] |
+//! | A5   | dispatch-TLB capacity | [`ablation_tlb_plan`] |
+//! | A6   | interruptible long instructions | [`ablation_long_instructions_plan`] |
+//! | A7   | software-dispatch crossover vs. quantum | [`ablation_soft_crossover_plan`] |
+//! | A8   | circuit sharing on/off | [`ablation_sharing_plan`] |
+//! | D1   | dynamic arrival loads (§6 future work) | [`dynamic_load_plan`] |
+//!
+//! Each generator *describes* its figure as an
+//! [`ExperimentPlan`](crate::runner::ExperimentPlan): one
+//! [`ScenarioJob`](crate::runner::ScenarioJob) per independent
+//! simulation. The plan is executed — serially or on a worker pool —
+//! by [`crate::runner`], which guarantees the assembled
+//! [`SeriesSet`] is identical at any worker count. The historical
+//! eager functions ([`fig2`], [`fig3`], …) remain as thin serial
+//! wrappers (`plan.execute(1)`).
 //!
 //! Workload sizes are scaled (see DESIGN.md §3): completion times are
 //! smaller than the paper's absolute numbers by a constant factor, but
@@ -32,6 +41,7 @@ use proteus_rfu::behavioral::FixedLatency;
 use proteus_rfu::RfuConfig;
 
 use crate::machine::{Machine, MachineConfig};
+use crate::runner::{ExperimentPlan, JobOutput};
 use crate::scenario::Scenario;
 use crate::series::{Series, SeriesSet};
 
@@ -84,6 +94,41 @@ impl Scale {
     }
 }
 
+/// Every experiment name the `repro` binary accepts, in emission order.
+pub const EXPERIMENTS: &[&str] = &[
+    "fig2",
+    "fig3",
+    "speedup",
+    "policies",
+    "quanta",
+    "pfus",
+    "config-split",
+    "tlb",
+    "longinstr",
+    "soft-crossover",
+    "sharing",
+    "dynamic",
+];
+
+/// Look up an experiment plan by its `repro` name.
+pub fn plan_for(name: &str, scale: &Scale) -> Option<ExperimentPlan> {
+    Some(match name {
+        "fig2" => fig2_plan(scale),
+        "fig3" => fig3_plan(scale),
+        "speedup" => speedup_plan(scale),
+        "policies" => ablation_policies_plan(scale),
+        "quanta" => ablation_quanta_plan(scale),
+        "pfus" => ablation_pfus_plan(scale),
+        "config-split" => ablation_config_split_plan(scale),
+        "tlb" => ablation_tlb_plan(scale),
+        "longinstr" => ablation_long_instructions_plan(),
+        "soft-crossover" => ablation_soft_crossover_plan(scale),
+        "sharing" => ablation_sharing_plan(scale),
+        "dynamic" => dynamic_load_plan(scale),
+        _ => return None,
+    })
+}
+
 fn quantum_label(q: u64) -> &'static str {
     match q {
         QUANTUM_10MS => "10ms",
@@ -101,27 +146,12 @@ fn app_label(app: AppKind) -> &'static str {
     }
 }
 
-fn run_series(
-    set: &mut SeriesSet,
-    name: String,
-    scale: &Scale,
-    build: impl Fn(usize) -> Scenario,
-) {
-    let mut series = Series::new(name);
-    for n in 1..=scale.max_instances {
-        let result = build(n).run().unwrap_or_else(|e| panic!("{}: {e}", series.name));
-        assert!(result.all_valid(), "{} n={n}: checksum mismatch", series.name);
-        series.push(n as f64, result.makespan as f64);
-    }
-    set.push(series);
-}
-
 /// **Figure 2 — Basic Scheduling Test.** Completion time vs. 1–8
 /// concurrent instances for {Echo, Alpha, Twofish} × {Round Robin,
 /// Random} replacement × {10 ms, 1 ms} quanta. Hardware-only dispatch,
 /// no sharing.
-pub fn fig2(scale: &Scale) -> SeriesSet {
-    let mut set = SeriesSet::new("fig2");
+pub fn fig2_plan(scale: &Scale) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new("fig2");
     for app in [AppKind::Echo, AppKind::Alpha, AppKind::Twofish] {
         let (size, passes) = scale.sizing(app);
         for (policy, pname) in [
@@ -129,10 +159,9 @@ pub fn fig2(scale: &Scale) -> SeriesSet {
             (PolicyKind::Random { seed: scale.seed }, "Random"),
         ] {
             for quantum in [QUANTUM_10MS, QUANTUM_1MS] {
-                run_series(
-                    &mut set,
+                plan.instance_sweep(
                     format!("{}, {}, {}", app_label(app), pname, quantum_label(quantum)),
-                    scale,
+                    scale.max_instances,
                     |n| {
                         Scenario::new(app)
                             .instances(n)
@@ -145,22 +174,26 @@ pub fn fig2(scale: &Scale) -> SeriesSet {
             }
         }
     }
-    set
+    plan
+}
+
+/// Serial wrapper over [`fig2_plan`].
+pub fn fig2(scale: &Scale) -> SeriesSet {
+    fig2_plan(scale).execute(1).0
 }
 
 /// **Figure 3 — Software Dispatch Test.** The same axes, comparing
 /// round-robin circuit switching against deferring to the software
 /// alternative once the array is full. The paper plots Echo and Alpha
 /// (noting Twofish tracks Alpha); we emit all three.
-pub fn fig3(scale: &Scale) -> SeriesSet {
-    let mut set = SeriesSet::new("fig3");
+pub fn fig3_plan(scale: &Scale) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new("fig3");
     for app in [AppKind::Echo, AppKind::Alpha, AppKind::Twofish] {
         let (size, passes) = scale.sizing(app);
         for quantum in [QUANTUM_10MS, QUANTUM_1MS] {
-            run_series(
-                &mut set,
+            plan.instance_sweep(
                 format!("{}, Round Robin, {}", app_label(app), quantum_label(quantum)),
-                scale,
+                scale.max_instances,
                 |n| {
                     Scenario::new(app)
                         .instances(n)
@@ -170,10 +203,9 @@ pub fn fig3(scale: &Scale) -> SeriesSet {
                         .policy(PolicyKind::RoundRobin)
                 },
             );
-            run_series(
-                &mut set,
+            plan.instance_sweep(
                 format!("{}, Soft, {}", app_label(app), quantum_label(quantum)),
-                scale,
+                scale.max_instances,
                 |n| {
                     Scenario::new(app)
                         .instances(n)
@@ -186,47 +218,59 @@ pub fn fig3(scale: &Scale) -> SeriesSet {
             );
         }
     }
-    set
+    plan
+}
+
+/// Serial wrapper over [`fig3_plan`].
+pub fn fig3(scale: &Scale) -> SeriesSet {
+    fig3_plan(scale).execute(1).0
 }
 
 /// **T-acc — the speedup claim.** Single-instance accelerated vs.
 /// pure-software completion per application; the paper states "all runs
 /// performed an order of magnitude faster than the unaccelerated
 /// applications". Series: per app, `x=0` accelerated cycles, `x=1`
-/// software cycles, plus a `speedup` series with the ratio.
-pub fn speedup(scale: &Scale) -> SeriesSet {
-    let mut set = SeriesSet::new("speedup");
-    let mut ratios = Series::new("speedup_factor");
-    for (i, app) in AppKind::ALL.iter().enumerate() {
-        let (size, passes) = scale.sizing(*app);
-        let accelerated = Scenario::new(*app)
-            .size(size)
-            .passes(passes)
-            .quantum(QUANTUM_10MS)
-            .run()
-            .expect("accelerated run");
-        let software = Scenario::new(*app)
-            .software_only()
-            .size(size)
-            .passes(passes)
-            .quantum(QUANTUM_10MS)
-            .run()
-            .expect("software run");
-        assert!(accelerated.all_valid() && software.all_valid());
-        let mut s = Series::new(format!("{}_cycles", app.name()));
-        s.push(0.0, accelerated.makespan as f64);
-        s.push(1.0, software.makespan as f64);
-        set.push(s);
-        ratios.push(i as f64, software.makespan as f64 / accelerated.makespan as f64);
+/// software cycles, plus a `speedup_factor` series with the ratios
+/// (derived in the plan's finish pass once both runs are in).
+pub fn speedup_plan(scale: &Scale) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new("speedup");
+    for app in AppKind::ALL {
+        let (size, passes) = scale.sizing(app);
+        let series = format!("{}_cycles", app.name());
+        plan.scenario_point(
+            series.clone(),
+            0.0,
+            Scenario::new(app).size(size).passes(passes).quantum(QUANTUM_10MS),
+        );
+        plan.scenario_point(
+            series,
+            1.0,
+            Scenario::new(app).software_only().size(size).passes(passes).quantum(QUANTUM_10MS),
+        );
     }
-    set.push(ratios);
-    set
+    plan.with_finish(|set| {
+        let mut ratios = Series::new("speedup_factor");
+        for (i, app) in AppKind::ALL.iter().enumerate() {
+            let s = set
+                .series_named(&format!("{}_cycles", app.name()))
+                .expect("per-app cycle series");
+            let accelerated = s.y_at(0.0).expect("accelerated point");
+            let software = s.y_at(1.0).expect("software point");
+            ratios.push(i as f64, software / accelerated);
+        }
+        set.push(ratios);
+    })
+}
+
+/// Serial wrapper over [`speedup_plan`].
+pub fn speedup(scale: &Scale) -> SeriesSet {
+    speedup_plan(scale).execute(1).0
 }
 
 /// **A1 — replacement policies.** Alpha at the 1 ms quantum (heavy
 /// swapping) under all five victim-selection policies.
-pub fn ablation_policies(scale: &Scale) -> SeriesSet {
-    let mut set = SeriesSet::new("ablation_policies");
+pub fn ablation_policies_plan(scale: &Scale) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new("ablation_policies");
     let (size, passes) = scale.sizing(AppKind::Alpha);
     for policy in [
         PolicyKind::RoundRobin,
@@ -235,7 +279,7 @@ pub fn ablation_policies(scale: &Scale) -> SeriesSet {
         PolicyKind::SecondChance,
         PolicyKind::Fifo,
     ] {
-        run_series(&mut set, policy.name().to_string(), scale, |n| {
+        plan.instance_sweep(policy.name().to_string(), scale.max_instances, |n| {
             Scenario::new(AppKind::Alpha)
                 .instances(n)
                 .size(size)
@@ -244,55 +288,78 @@ pub fn ablation_policies(scale: &Scale) -> SeriesSet {
                 .policy(policy)
         });
     }
-    set
+    plan
+}
+
+/// Serial wrapper over [`ablation_policies_plan`].
+pub fn ablation_policies(scale: &Scale) -> SeriesSet {
+    ablation_policies_plan(scale).execute(1).0
 }
 
 /// **A2 — quantum sweep**, including the 100 ms NT/BSD point the
 /// discussion predicts would help further.
-pub fn ablation_quanta(scale: &Scale) -> SeriesSet {
-    let mut set = SeriesSet::new("ablation_quanta");
+pub fn ablation_quanta_plan(scale: &Scale) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new("ablation_quanta");
     let (size, passes) = scale.sizing(AppKind::Alpha);
     for quantum in [QUANTUM_100MS, QUANTUM_10MS, QUANTUM_1MS] {
-        run_series(&mut set, format!("Alpha, RR, {}", quantum_label(quantum)), scale, |n| {
-            Scenario::new(AppKind::Alpha)
-                .instances(n)
-                .size(size)
-                .passes(passes)
-                .quantum(quantum)
-                .policy(PolicyKind::RoundRobin)
-        });
+        plan.instance_sweep(
+            format!("Alpha, RR, {}", quantum_label(quantum)),
+            scale.max_instances,
+            |n| {
+                Scenario::new(AppKind::Alpha)
+                    .instances(n)
+                    .size(size)
+                    .passes(passes)
+                    .quantum(quantum)
+                    .policy(PolicyKind::RoundRobin)
+            },
+        );
     }
-    set
+    plan
+}
+
+/// Serial wrapper over [`ablation_quanta_plan`].
+pub fn ablation_quanta(scale: &Scale) -> SeriesSet {
+    ablation_quanta_plan(scale).execute(1).0
 }
 
 /// **A3 — PFU count.** The paper limited the chip to 4 PFUs "to
 /// demonstrate the system behaviour under contention" and estimates it
 /// could hold twice that.
-pub fn ablation_pfus(scale: &Scale) -> SeriesSet {
-    let mut set = SeriesSet::new("ablation_pfus");
+pub fn ablation_pfus_plan(scale: &Scale) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new("ablation_pfus");
     let (size, passes) = scale.sizing(AppKind::Alpha);
     for pfus in [2usize, 4, 6, 8] {
-        run_series(&mut set, format!("Alpha, RR, 10ms, {pfus} PFUs"), scale, |n| {
-            Scenario::new(AppKind::Alpha)
-                .instances(n)
-                .size(size)
-                .passes(passes)
-                .quantum(QUANTUM_10MS)
-                .pfus(pfus)
-        });
+        plan.instance_sweep(
+            format!("Alpha, RR, 10ms, {pfus} PFUs"),
+            scale.max_instances,
+            |n| {
+                Scenario::new(AppKind::Alpha)
+                    .instances(n)
+                    .size(size)
+                    .passes(passes)
+                    .quantum(QUANTUM_10MS)
+                    .pfus(pfus)
+            },
+        );
     }
-    set
+    plan
+}
+
+/// Serial wrapper over [`ablation_pfus_plan`].
+pub fn ablation_pfus(scale: &Scale) -> SeriesSet {
+    ablation_pfus_plan(scale).execute(1).0
 }
 
 /// **A4 — split configuration.** The §4.1 design saves only state
 /// frames on unload; the ablation also writes back the full static
 /// configuration, doubling bus traffic per swap.
-pub fn ablation_config_split(scale: &Scale) -> SeriesSet {
-    let mut set = SeriesSet::new("ablation_config_split");
+pub fn ablation_config_split_plan(scale: &Scale) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new("ablation_config_split");
     let (size, passes) = scale.sizing(AppKind::Alpha);
     for (save_full, name) in [(false, "state frames only"), (true, "full config writeback")] {
         let costs = CostModel { save_full_config_on_unload: save_full, ..CostModel::default() };
-        run_series(&mut set, name.to_string(), scale, |n| {
+        plan.instance_sweep(name.to_string(), scale.max_instances, |n| {
             Scenario::new(AppKind::Alpha)
                 .instances(n)
                 .size(size)
@@ -301,17 +368,22 @@ pub fn ablation_config_split(scale: &Scale) -> SeriesSet {
                 .costs(costs)
         });
     }
-    set
+    plan
+}
+
+/// Serial wrapper over [`ablation_config_split_plan`].
+pub fn ablation_config_split(scale: &Scale) -> SeriesSet {
+    ablation_config_split_plan(scale).execute(1).0
 }
 
 /// **A5 — dispatch-TLB capacity.** With fewer TLB slots than live
 /// tuples, resident circuits take mapping faults (§4.2's cheap path) —
 /// visible but far milder than reconfiguration.
-pub fn ablation_tlb(scale: &Scale) -> SeriesSet {
-    let mut set = SeriesSet::new("ablation_tlb");
+pub fn ablation_tlb_plan(scale: &Scale) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new("ablation_tlb");
     let (size, passes) = scale.sizing(AppKind::Alpha);
     for slots in [2usize, 4, 16] {
-        run_series(&mut set, format!("{slots} TLB slots"), scale, |n| {
+        plan.instance_sweep(format!("{slots} TLB slots"), scale.max_instances, |n| {
             Scenario::new(AppKind::Alpha)
                 .instances(n)
                 .size(size)
@@ -320,7 +392,12 @@ pub fn ablation_tlb(scale: &Scale) -> SeriesSet {
                 .tlb_capacity(slots)
         });
     }
-    set
+    plan
+}
+
+/// Serial wrapper over [`ablation_tlb_plan`].
+pub fn ablation_tlb(scale: &Scale) -> SeriesSet {
+    ablation_tlb_plan(scale).execute(1).0
 }
 
 /// **A7 — the software-dispatch crossover.** §5.1.3 concludes software
@@ -328,31 +405,34 @@ pub fn ablation_tlb(scale: &Scale) -> SeriesSet {
 /// get short quanta". Sweep the quantum at 8 concurrent echo instances:
 /// as quanta shrink, per-quantum reconfiguration overhead explodes and
 /// deferring to the software alternative wins.
-pub fn ablation_soft_crossover(scale: &Scale) -> SeriesSet {
-    let mut set = SeriesSet::new("ablation_soft_crossover");
+pub fn ablation_soft_crossover_plan(scale: &Scale) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new("ablation_soft_crossover");
     let (size, passes) = scale.sizing(AppKind::Echo);
     let n = scale.max_instances;
     for (mode, name) in [
         (DispatchMode::HardwareOnly, "circuit switching"),
         (DispatchMode::SoftwareFallback, "software dispatch"),
     ] {
-        let mut series = Series::new(name);
         for quantum in [QUANTUM_10MS, QUANTUM_1MS, 30_000, 10_000] {
-            let result = Scenario::new(AppKind::Echo)
-                .instances(n)
-                .size(size)
-                .passes(passes)
-                .quantum(quantum)
-                .policy(PolicyKind::RoundRobin)
-                .mode(mode)
-                .run()
-                .expect("crossover run");
-            assert!(result.all_valid());
-            series.push(quantum as f64, result.makespan as f64);
+            plan.scenario_point(
+                name,
+                quantum as f64,
+                Scenario::new(AppKind::Echo)
+                    .instances(n)
+                    .size(size)
+                    .passes(passes)
+                    .quantum(quantum)
+                    .policy(PolicyKind::RoundRobin)
+                    .mode(mode),
+            );
         }
-        set.push(series);
     }
-    set
+    plan
+}
+
+/// Serial wrapper over [`ablation_soft_crossover_plan`].
+pub fn ablation_soft_crossover(scale: &Scale) -> SeriesSet {
+    ablation_soft_crossover_plan(scale).execute(1).0
 }
 
 /// **A8 — circuit sharing (§4.2).** The paper disables sharing "since we
@@ -361,11 +441,11 @@ pub fn ablation_soft_crossover(scale: &Scale) -> SeriesSet {
 /// share instances, just changing the state in a single PFU". With
 /// sharing on, N instances of one application stop contending: handovers
 /// move ~tens of state words instead of 54 KB.
-pub fn ablation_sharing(scale: &Scale) -> SeriesSet {
-    let mut set = SeriesSet::new("ablation_sharing");
+pub fn ablation_sharing_plan(scale: &Scale) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new("ablation_sharing");
     let (size, passes) = scale.sizing(AppKind::Alpha);
     for (sharing, name) in [(false, "sharing off (paper setup)"), (true, "sharing on")] {
-        run_series(&mut set, name.to_string(), scale, |n| {
+        plan.instance_sweep(name.to_string(), scale.max_instances, |n| {
             Scenario::new(AppKind::Alpha)
                 .instances(n)
                 .size(size)
@@ -375,15 +455,20 @@ pub fn ablation_sharing(scale: &Scale) -> SeriesSet {
                 .sharing(sharing)
         });
     }
-    set
+    plan
+}
+
+/// Serial wrapper over [`ablation_sharing_plan`].
+pub fn ablation_sharing(scale: &Scale) -> SeriesSet {
+    ablation_sharing_plan(scale).execute(1).0
 }
 
 /// **D1 — dynamic scheduling loads** (the paper's §6 future work): mean
 /// job turnaround vs. offered load (mean inter-arrival gap), for the
 /// three management strategies. Series x = mean inter-arrival cycles.
-pub fn dynamic_load(scale: &Scale) -> SeriesSet {
+pub fn dynamic_load_plan(scale: &Scale) -> ExperimentPlan {
     use crate::dynamic::DynamicLoad;
-    let mut set = SeriesSet::new("dynamic_load");
+    let mut plan = ExperimentPlan::new("dynamic_load");
     let (size, passes) = {
         let (s, p) = scale.sizing(AppKind::Alpha);
         (s, (p / 4).max(1))
@@ -394,9 +479,8 @@ pub fn dynamic_load(scale: &Scale) -> SeriesSet {
         ("software dispatch", DispatchMode::SoftwareFallback, false),
         ("circuit sharing", DispatchMode::HardwareOnly, true),
     ] {
-        let mut series = Series::new(name);
-        for &gap in &gaps {
-            let result = DynamicLoad {
+        for gap in gaps {
+            let load = DynamicLoad {
                 jobs: 2 * scale.max_instances,
                 mean_interarrival: gap,
                 job_size: (size, passes),
@@ -405,15 +489,23 @@ pub fn dynamic_load(scale: &Scale) -> SeriesSet {
                 sharing,
                 seed: scale.seed,
                 ..DynamicLoad::default()
-            }
-            .run()
-            .expect("dynamic run");
-            assert!(result.valid);
-            series.push(gap as f64, result.mean_turnaround);
+            };
+            plan.push_job(name, move || {
+                let result = load.run().unwrap_or_else(|e| panic!("{name} gap={gap}: {e}"));
+                assert!(result.valid, "{name} gap={gap}: checksum mismatch");
+                JobOutput {
+                    points: vec![(gap as f64, result.mean_turnaround)],
+                    sim_cycles: result.makespan,
+                }
+            });
         }
-        set.push(series);
     }
-    set
+    plan
+}
+
+/// Serial wrapper over [`dynamic_load_plan`].
+pub fn dynamic_load(scale: &Scale) -> SeriesSet {
+    dynamic_load_plan(scale).execute(1).0
 }
 
 /// **A6 — interruptible long instructions (§4.4).** A synthetic process
@@ -421,50 +513,62 @@ pub fn dynamic_load(scale: &Scale) -> SeriesSet {
 /// mechanism the scheduler preempts on time; with uninterruptible
 /// instructions every quantum stretches by up to the instruction
 /// latency. Series report the *worst observed scheduling overshoot* in
-/// cycles for each mode.
-pub fn ablation_long_instructions() -> SeriesSet {
+/// cycles for each mode. (Fixed synthetic workload — takes no
+/// [`Scale`].)
+pub fn ablation_long_instructions_plan() -> ExperimentPlan {
     const LATENCY: u32 = 70_000;
-    let program = proteus_isa::assemble(
-        "start:\n\
-         \x20   ldr r2, =100\n\
-         loop:\n\
-         \x20   pfu 0, r1, r0, r0\n\
-         \x20   subs r2, r2, #1\n\
-         \x20   bne loop\n\
-         \x20   mov r0, #0\n\
-         \x20   swi #0\n",
-    )
-    .expect("long-instruction program assembles");
-    let mut set = SeriesSet::new("ablation_longinstr");
-    for (interruptible, name) in [(true, "interruptible (status register)"), (false, "run to completion")] {
-        let quantum = QUANTUM_1MS;
-        let mut machine = Machine::new(MachineConfig {
-            kernel: KernelConfig { quantum, ..KernelConfig::default() },
-            rfu: RfuConfig { interruptible, ..RfuConfig::default() },
+    let mut plan = ExperimentPlan::new("ablation_longinstr");
+    for (interruptible, name) in
+        [(true, "interruptible (status register)"), (false, "run to completion")]
+    {
+        plan.push_job(name, move || {
+            let program = proteus_isa::assemble(
+                "start:\n\
+                 \x20   ldr r2, =100\n\
+                 loop:\n\
+                 \x20   pfu 0, r1, r0, r0\n\
+                 \x20   subs r2, r2, #1\n\
+                 \x20   bne loop\n\
+                 \x20   mov r0, #0\n\
+                 \x20   swi #0\n",
+            )
+            .expect("long-instruction program assembles");
+            let quantum = QUANTUM_1MS;
+            let mut machine = Machine::new(MachineConfig {
+                kernel: KernelConfig { quantum, ..KernelConfig::default() },
+                rfu: RfuConfig { interruptible, ..RfuConfig::default() },
+            });
+            // Two competitors so quanta actually matter.
+            for _ in 0..2 {
+                let entry = program.symbol("start").expect("start");
+                let spec = SpawnSpec::new(&program).entry(entry).circuit(CircuitSpec {
+                    cid: 0,
+                    circuit: Box::new(FixedLatency::new("long", LATENCY, 4, |a, _| a)),
+                    software_alt: None,
+                    image: None,
+                });
+                machine.spawn(spec).expect("spawn");
+            }
+            let report = machine.run(50_000_000_000).expect("run");
+            assert!(report.killed.is_empty());
+            // Overshoot proxy: with N quanta of Q cycles and S switches, a
+            // perfectly timely scheduler switches every ~Q cycles. We report
+            // observed mean inter-switch distance minus Q.
+            let switches = report.stats.context_switches.max(1);
+            let mean_gap = report.makespan / switches;
+            let overshoot = mean_gap.saturating_sub(quantum);
+            JobOutput {
+                points: vec![(0.0, overshoot as f64), (1.0, report.makespan as f64)],
+                sim_cycles: report.makespan,
+            }
         });
-        // Two competitors so quanta actually matter.
-        for _ in 0..2 {
-            let entry = program.symbol("start").expect("start");
-            let spec = SpawnSpec::new(&program).entry(entry).circuit(CircuitSpec {
-                cid: 0,
-                circuit: Box::new(FixedLatency::new("long", LATENCY, 4, |a, _| a)),
-                software_alt: None, image: None });
-            machine.spawn(spec).expect("spawn");
-        }
-        let report = machine.run(50_000_000_000).expect("run");
-        assert!(report.killed.is_empty());
-        // Overshoot proxy: with N quanta of Q cycles and S switches, a
-        // perfectly timely scheduler switches every ~Q cycles. We report
-        // observed mean inter-switch distance minus Q.
-        let switches = report.stats.context_switches.max(1);
-        let mean_gap = report.makespan / switches;
-        let overshoot = mean_gap.saturating_sub(quantum);
-        let mut s = Series::new(name);
-        s.push(0.0, overshoot as f64);
-        s.push(1.0, report.makespan as f64);
-        set.push(s);
     }
-    set
+    plan
+}
+
+/// Serial wrapper over [`ablation_long_instructions_plan`].
+pub fn ablation_long_instructions() -> SeriesSet {
+    ablation_long_instructions_plan().execute(1).0
 }
 
 #[cfg(test)]
@@ -508,5 +612,37 @@ mod tests {
         let good = set.series_named("interruptible (status register)").expect("series").points[0].y;
         let bad = set.series_named("run to completion").expect("series").points[0].y;
         assert!(bad > good, "uninterruptible overshoot {bad} should exceed {good}");
+    }
+
+    #[test]
+    fn registry_covers_every_experiment() {
+        let scale = tiny();
+        for name in EXPERIMENTS {
+            let plan = plan_for(name, &scale).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(plan.job_count() > 0, "{name} has no jobs");
+        }
+        assert!(plan_for("nonsense", &scale).is_none());
+    }
+
+    #[test]
+    fn fig2_plan_is_parallel_deterministic() {
+        // The core --jobs guarantee: identical SeriesSet (hence
+        // byte-identical CSV) at any worker count.
+        let scale = Scale { target_cycles: 200_000, max_instances: 2, seed: 7 };
+        let (serial, _) = fig2_plan(&scale).execute(1);
+        let (parallel, _) = fig2_plan(&scale).execute(4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+    }
+
+    #[test]
+    fn speedup_finish_hook_matches_serial_ratio() {
+        let scale = tiny();
+        let (set, metrics) = speedup_plan(&scale).execute(3);
+        let ratios = set.series_named("speedup_factor").expect("ratios");
+        assert_eq!(ratios.points.len(), AppKind::ALL.len());
+        // Ratio series is appended last, as the eager generator did.
+        assert_eq!(set.series.last().expect("last").name, "speedup_factor");
+        assert!(metrics.sim_cycles > 0);
     }
 }

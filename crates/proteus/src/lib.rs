@@ -14,6 +14,9 @@
 //! * [`experiment`] — generators for every figure of the paper's
 //!   evaluation (Figure 2, Figure 3, the speedup claim) plus the
 //!   ablations listed in DESIGN.md;
+//! * [`runner`] — declarative [`runner::ExperimentPlan`]s executed on a
+//!   worker pool, with deterministic assembly (byte-identical CSVs at
+//!   any `--jobs` count) and throughput metrics;
 //! * [`series`] — simple long-format CSV output for the results.
 //!
 //! # Quickstart
@@ -38,10 +41,12 @@
 pub mod dynamic;
 pub mod experiment;
 pub mod machine;
+pub mod runner;
 pub mod scenario;
 pub mod series;
 
 pub use dynamic::{DynamicLoad, DynamicResult};
 pub use machine::{Machine, MachineConfig};
+pub use runner::{ExperimentPlan, JobOutput, PlanMetrics, ScenarioJob};
 pub use scenario::{Scenario, ScenarioResult};
 pub use series::{Point, Series, SeriesSet};

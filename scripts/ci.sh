@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 CI: build, test, and verify the parallel experiment runner is
+# deterministic (a --jobs 2 run must produce byte-identical CSVs to a
+# --jobs 1 run).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+cargo build --release --workspace
+
+echo "== test =="
+cargo test -q --workspace
+
+echo "== repro determinism (fig2, --jobs 1 vs --jobs 2) =="
+serial_dir=target/ci-repro/serial
+parallel_dir=target/ci-repro/parallel
+rm -rf "$serial_dir" "$parallel_dir"
+cargo run --release -p proteus-bench --bin repro -- \
+    --quick --jobs 1 --out "$serial_dir" fig2 >/dev/null
+cargo run --release -p proteus-bench --bin repro -- \
+    --quick --jobs 2 --out "$parallel_dir" fig2 >/dev/null
+diff "$serial_dir/fig2.csv" "$parallel_dir/fig2.csv"
+for f in "$serial_dir/summary.json" "$parallel_dir/summary.json"; do
+    test -s "$f" || { echo "missing $f" >&2; exit 1; }
+done
+echo "CSVs byte-identical across job counts; summary.json emitted"
+
+echo "== ci.sh OK =="

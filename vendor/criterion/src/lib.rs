@@ -1,0 +1,293 @@
+//! Offline stand-in for the subset of the [`criterion`] benchmark
+//! harness this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small wall-clock harness with the same API surface:
+//! [`Criterion`], [`BenchmarkId`], benchmark groups with
+//! `sample_size` / `warm_up_time` / `measurement_time`, `Bencher::iter`
+//! and the [`criterion_group!`] / [`criterion_main!`] macros. It
+//! measures honestly (median of timed samples after a warm-up) but does
+//! no statistical analysis, HTML reports or comparison against saved
+//! baselines.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a value or the work behind it.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` naming.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// Bare `parameter` naming.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{}", self.function, p),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { function: name.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { function: name, parameter: None }
+    }
+}
+
+/// Timing configuration shared by [`Criterion`] and groups.
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The benchmark harness.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Untimed warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Timed measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// CLI compatibility shim: parses nothing, returns `self`.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), config: self.config.clone(), _parent: self }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.config.clone();
+        run_benchmark(&id.into().render(), &config, f);
+        self
+    }
+}
+
+/// A named group of benchmarks with its own timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Untimed warm-up budget per benchmark in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Timed measurement budget per benchmark in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().render());
+        run_benchmark(&full, &self.config, f);
+        self
+    }
+
+    /// Finish the group (upstream flushes reports here; a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    config: Config,
+}
+
+impl Bencher {
+    /// Measure the routine: warm up, then record timed samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let mut warm_iters = 0u64;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Budget the measurement phase over the configured sample count,
+        // batching iterations so fast routines get stable numbers.
+        let per_sample =
+            self.config.measurement_time.max(Duration::from_millis(1)) / self.config.sample_size as u32;
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            let mut iters = 0u64;
+            loop {
+                black_box(routine());
+                iters += 1;
+                let elapsed = start.elapsed();
+                if elapsed >= per_sample || (warm_iters == 0 && iters >= 1) {
+                    self.samples.push(elapsed / iters as u32);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(name: &str, config: &Config, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { samples: Vec::new(), config: config.clone() };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{name:<60} (no samples)");
+        return;
+    }
+    bencher.samples.sort();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let (lo, hi) = (bencher.samples[0], bencher.samples[bencher.samples.len() - 1]);
+    println!(
+        "{name:<60} time: [{} {} {}]",
+        format_duration(lo),
+        format_duration(median),
+        format_duration(hi)
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(3));
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_api_matches_usage() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        group.bench_function(BenchmarkId::new("f", 4), |b| b.iter(|| 2 + 2));
+        group.finish();
+    }
+}

@@ -1,0 +1,79 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Debug + Sized + 'static {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `A` (see [`any`]).
+pub struct Any<A>(PhantomData<fn() -> A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn sample(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy producing any value of `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Edge-biased, like the range strategies: zero and the
+                // extremes appear with elevated probability.
+                match rng.below(8) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )+};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrays_and_ints_sample() {
+        let mut rng = TestRng::seed_from_u64(9);
+        let bytes = <[u8; 16]>::arbitrary(&mut rng);
+        assert_eq!(bytes.len(), 16);
+        let words = <[u32; 4]>::arbitrary(&mut rng);
+        assert_eq!(words.len(), 4);
+        let strat = any::<u64>();
+        let mut saw_zero = false;
+        for _ in 0..100 {
+            saw_zero |= strat.sample(&mut rng) == 0;
+        }
+        assert!(saw_zero, "edge bias should produce zero");
+    }
+}

@@ -1,0 +1,193 @@
+//! Offline stand-in for the subset of the [`proptest`] crate this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small property-testing engine with the same API surface:
+//! the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`,
+//! ranges and tuples as strategies, [`prop_oneof!`], [`strategy::Just`],
+//! `any::<T>()`, `proptest::collection::vec`, `proptest::option::of`,
+//! the `prop_assert*` / `prop_assume!` macros and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the sampled input verbatim.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test's module path and name, so runs are reproducible; set
+//!   `PROPTEST_RNG_SEED` to explore a different deterministic stream and
+//!   `PROPTEST_CASES` to override the case count.
+//! * **`*.proptest-regressions` files are not replayed** (their `cc`
+//!   entries are hashes of upstream's RNG state, which this engine
+//!   cannot interpret). Regressions fixed in this repository are pinned
+//!   as plain `#[test]` cases instead — see
+//!   `crates/isa/tests/regressions.rs`.
+//!
+//! To compensate for the lack of shrinking, range and integer strategies
+//! are *edge-biased*: they sample range endpoints and zero with elevated
+//! probability, which is how the canonical-form corner cases upstream
+//! proptest found (zero offsets, zero shift amounts, zero immediates)
+//! keep being exercised here.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the `proptest!` macro and typical property tests need.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declare property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __strategy = ($($strat,)+);
+            let mut __runner = $crate::test_runner::TestRunner::new(
+                __config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            __runner.run(&__strategy, |($($pat,)+)| {
+                $body;
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_arm($strat)),+
+        ])
+    };
+}
+
+/// Fail the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current test case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                    __l,
+                    __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    __l,
+                    __r,
+                    format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// Fail the current test case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `left != right`\n  both: `{:?}`",
+                    __l
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `left != right`\n  both: `{:?}`: {}",
+                    __l,
+                    format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// Discard the current case (does not count towards the case total)
+/// unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

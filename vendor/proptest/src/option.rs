@@ -1,0 +1,39 @@
+//! `Option` strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Option<S::Value>`; see [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// `Some` values from `inner` three times out of four, `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::seed_from_u64(11);
+        let strat = of(0u8..4);
+        let samples: Vec<Option<u8>> = (0..100).map(|_| strat.sample(&mut rng)).collect();
+        assert!(samples.iter().any(Option::is_none));
+        assert!(samples.iter().any(Option::is_some));
+    }
+}

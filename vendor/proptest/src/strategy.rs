@@ -1,0 +1,254 @@
+//! Value-generation strategies.
+
+use std::fmt::Debug;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for producing values of one type.
+///
+/// Unlike upstream proptest there is no shrinking tree: a strategy is
+/// just a sampler. Combinators mirror the upstream names so test code
+/// is source-compatible.
+pub trait Strategy: 'static {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        Map { source: self, map }
+    }
+
+    /// Keep only values satisfying `pred` (resamples on mismatch).
+    fn prop_filter<F>(self, _whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        Filter { source: self, pred }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy(Box::new(move |rng: &mut TestRng| self.sample(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn Fn(&mut TestRng) -> V>);
+
+impl<V: Debug + 'static> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O + 'static,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    source: S,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool + 'static,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.source.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 samples in a row");
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// One arm of a [`Union`]; built by [`union_arm`] from `prop_oneof!`.
+pub type UnionArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Box a strategy into a [`Union`] arm (used by `prop_oneof!`).
+pub fn union_arm<S: Strategy>(strategy: S) -> UnionArm<S::Value> {
+    Box::new(move |rng: &mut TestRng| strategy.sample(rng))
+}
+
+/// Uniform choice between same-typed strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<UnionArm<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over the given arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<UnionArm<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V: Debug + 'static> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[arm])(rng)
+    }
+}
+
+/// Integer ranges sample their endpoints with elevated probability —
+/// the stand-in for upstream's shrinking towards simple values.
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                match rng.below(8) {
+                    0 => self.start,
+                    1 => self.end - 1,
+                    _ => {
+                        let span = (self.end as i128) - (self.start as i128);
+                        (self.start as i128 + rng.below(span as u64) as i128) as $t
+                    }
+                }
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                match rng.below(8) {
+                    0 => start,
+                    1 => end,
+                    _ => {
+                        let span = (end as i128) - (start as i128) + 1;
+                        (start as i128 + (rng.next_u64() as u128 % span as u128) as i128) as $t
+                    }
+                }
+            }
+        }
+        impl Strategy for core::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                (self.start..=<$t>::MAX).sample(rng)
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+    (A, B, C, D, E, F, G);
+    (A, B, C, D, E, F, G, H);
+    (A, B, C, D, E, F, G, H, I);
+    (A, B, C, D, E, F, G, H, I, J);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_hit_their_endpoints() {
+        let mut rng = TestRng::seed_from_u64(42);
+        let strat = 0u16..2048;
+        let mut saw_zero = false;
+        let mut saw_max = false;
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!(v < 2048);
+            saw_zero |= v == 0;
+            saw_max |= v == 2047;
+        }
+        assert!(saw_zero && saw_max, "edge bias should hit both endpoints");
+    }
+
+    #[test]
+    fn map_and_oneof_compose() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let strat = crate::prop_oneof![
+            (0u8..10).prop_map(|v| v as u32),
+            Just(99u32),
+        ];
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!(v < 10 || v == 99);
+        }
+    }
+
+    #[test]
+    fn signed_full_range_samples() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let strat = -(1i32 << 22)..(1i32 << 22);
+        for _ in 0..500 {
+            let v = strat.sample(&mut rng);
+            assert!((-(1 << 22)..(1 << 22)).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Test execution: configuration, the deterministic RNG and the runner.
+
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::strategy::Strategy;
+
+/// How many cases to run per property (subset of upstream's config).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property does not hold for the sampled input.
+    Fail(String),
+    /// The input does not satisfy a precondition; sample another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection (filtered input) with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+        }
+    }
+}
+
+/// Deterministic generator feeding the strategies (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeded construction; expansion via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)` (`bound` > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// Drives one property: samples inputs, runs the case, reports failures.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner for the named test. The RNG seed is derived from the
+    /// test name (FNV-1a), overridable via `PROPTEST_RNG_SEED`.
+    pub fn new(mut config: ProptestConfig, name: &'static str) -> Self {
+        if let Some(cases) =
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse::<u32>().ok())
+        {
+            config.cases = cases;
+        }
+        let base = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0xcbf2_9ce4_8422_2325);
+        let mut hash = base;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner { config, name, rng: TestRng::seed_from_u64(hash) }
+    }
+
+    /// Run the property to completion, panicking on the first failure
+    /// with the offending input in the message.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the property fails, when the case itself panics, or
+    /// when too many inputs are rejected by `prop_assume!`.
+    pub fn run<S: Strategy>(
+        &mut self,
+        strategy: &S,
+        case: impl Fn(S::Value) -> Result<(), TestCaseError>,
+    ) {
+        let mut passed = 0u32;
+        let mut attempts = 0u64;
+        let max_attempts = u64::from(self.config.cases).saturating_mul(20).max(100);
+        while passed < self.config.cases {
+            attempts += 1;
+            assert!(
+                attempts <= max_attempts,
+                "{}: too many rejected inputs ({} attempts for {} cases)",
+                self.name,
+                attempts,
+                self.config.cases
+            );
+            let value = strategy.sample(&mut self.rng);
+            let described = format!("{value:?}");
+            let outcome = catch_unwind(AssertUnwindSafe(|| case(value)));
+            match outcome {
+                Ok(Ok(())) => passed += 1,
+                Ok(Err(TestCaseError::Reject(_))) => continue,
+                Ok(Err(TestCaseError::Fail(message))) => panic!(
+                    "proptest: {} failed for input {} (case {}/{}):\n{}",
+                    self.name,
+                    described,
+                    passed + 1,
+                    self.config.cases,
+                    message
+                ),
+                Err(payload) => {
+                    eprintln!(
+                        "proptest: {} panicked for input {} (case {}/{})",
+                        self.name,
+                        described,
+                        passed + 1,
+                        self.config.cases
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
