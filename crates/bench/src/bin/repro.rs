@@ -1,7 +1,7 @@
 //! Regenerate every figure and claim of the paper's evaluation.
 //!
 //! ```text
-//! repro [--quick] [--jobs N] [--out DIR]
+//! repro [--quick] [--jobs N] [--out DIR] [--trace SCENARIO]
 //!       [fig2] [fig3] [speedup] [policies] [quanta] [pfus]
 //!       [config-split] [tlb] [longinstr] [soft-crossover] [sharing] [dynamic] [all]
 //! ```
@@ -13,9 +13,17 @@
 //! **byte-identical at any `--jobs` value** — only wall time changes.
 //!
 //! Results are printed as tables and written as long-format CSVs into
-//! `--out` (default `results/`), alongside `summary.json` with per-figure
-//! and total wall time, job counts and simulated-cycles-per-host-second
-//! throughput.
+//! `--out` (default `results/`): `<figure>.csv` with the plotted points
+//! and `breakdown_<figure>.csv` attributing every simulated cycle of
+//! every job to a [`proteus::CycleLedger`] category. `summary.json`
+//! records per-figure and total wall time, job counts,
+//! simulated-cycles-per-host-second throughput and a `cycle_breakdown`
+//! section (per-experiment and aggregate category totals).
+//!
+//! `--trace alpha|echo|twofish` additionally runs a small contended
+//! scenario of the named application with tracing on and dumps its
+//! event timeline as JSON lines into `trace_<scenario>.jsonl` (one
+//! object per event, oldest first).
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -23,7 +31,9 @@ use std::time::Instant;
 
 use proteus::experiment::{plan_for, Scale, EXPERIMENTS};
 use proteus::runner::{default_workers, PlanMetrics};
+use proteus::scenario::Scenario;
 use proteus::series::SeriesSet;
+use proteus_apps::AppKind;
 
 fn emit(set: &SeriesSet, outdir: &Path) {
     println!("== {} ==", set.figure);
@@ -34,6 +44,44 @@ fn emit(set: &SeriesSet, outdir: &Path) {
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
     println!();
+}
+
+fn emit_breakdown(m: &PlanMetrics, outdir: &Path) {
+    let path = outdir.join(format!("breakdown_{}.csv", m.breakdown.figure));
+    match m.breakdown.write_csv(&path) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// Run a small contended scenario of `app` with tracing enabled and dump
+/// the event timeline as JSON lines.
+fn dump_trace(app: AppKind, quick: bool, outdir: &Path) {
+    let name = app.name();
+    let (instances, passes) = if quick { (3, 4) } else { (5, 12) };
+    let result = Scenario::new(app)
+        .instances(instances)
+        .passes(passes)
+        .quantum(100_000)
+        .trace_capacity(1 << 20)
+        .run()
+        .unwrap_or_else(|e| panic!("trace scenario {name}: {e}"));
+    assert!(result.all_valid(), "trace scenario {name}: checksum mismatch");
+    let mut out = String::new();
+    for (at, event) in &result.trace {
+        out.push_str(&event.to_json(*at));
+        out.push('\n');
+    }
+    let path = outdir.join(format!("trace_{name}.jsonl"));
+    match std::fs::write(&path, &out) {
+        Ok(()) => println!(
+            "wrote {} ({} events over {} cycles)",
+            path.display(),
+            result.trace.len(),
+            result.total_cycles,
+        ),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }
 
 /// Escape a string for inclusion in a JSON document (the summary has no
@@ -88,11 +136,25 @@ fn summary_json(
     let throughput =
         if total_wall_seconds > 0.0 { total_cycles as f64 / total_wall_seconds } else { 0.0 };
     let per_figure: Vec<String> = metrics.iter().map(|m| metrics_json(m, "    ")).collect();
+    // Per-experiment and aggregate cycle attribution, folded from the
+    // same event stream that produced the breakdown CSVs.
+    let mut aggregate = proteus::CycleLedger::default();
+    let per_figure_breakdown: Vec<String> = metrics
+        .iter()
+        .map(|m| {
+            let ledger = m.breakdown.aggregate();
+            aggregate.absorb(&ledger);
+            format!("    \"{}\": {}", json_escape(&m.figure), ledger.to_json())
+        })
+        .collect();
     format!(
         "{{\n\
          \x20 \"workers\": {workers},\n\
          \x20 \"quick\": {quick},\n\
          \x20 \"experiments\": [\n{}\n  ],\n\
+         \x20 \"cycle_breakdown\": {{\n{}{}\
+         \x20   \"aggregate\": {}\n\
+         \x20 }},\n\
          \x20 \"total\": {{\n\
          \x20   \"jobs\": {total_jobs},\n\
          \x20   \"wall_seconds\": {total_wall_seconds:.6},\n\
@@ -102,13 +164,17 @@ fn summary_json(
          \x20 }}\n\
          }}\n",
         per_figure.join(",\n"),
+        per_figure_breakdown.join(",\n"),
+        if per_figure_breakdown.is_empty() { "" } else { ",\n" },
+        aggregate.to_json(),
     )
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--jobs N] [--out DIR] [experiment...|all]\n\
-         experiments: {}",
+        "usage: repro [--quick] [--jobs N] [--out DIR] [--trace SCENARIO] [experiment...|all]\n\
+         experiments: {}\n\
+         trace scenarios: alpha echo twofish",
         EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
@@ -119,11 +185,26 @@ fn main() {
     let mut quick = false;
     let mut jobs = default_workers();
     let mut outdir = String::from("results");
+    let mut traces: Vec<AppKind> = Vec::new();
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--trace" => {
+                let app = match it.next().as_deref() {
+                    Some("alpha") => AppKind::Alpha,
+                    Some("echo") => AppKind::Echo,
+                    Some("twofish") => AppKind::Twofish,
+                    other => {
+                        eprintln!(
+                            "--trace needs a scenario (alpha|echo|twofish), got {other:?}"
+                        );
+                        usage();
+                    }
+                };
+                traces.push(app);
+            }
             "--jobs" => {
                 let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok().filter(|n| *n > 0))
                 else {
@@ -147,7 +228,9 @@ fn main() {
             name => wanted.push(name.to_string()),
         }
     }
-    if wanted.is_empty() {
+    // `--trace` alone dumps timelines without rerunning every figure;
+    // with explicit experiment names it does both.
+    if wanted.is_empty() && traces.is_empty() {
         wanted.push("all".into());
     }
     let all = wanted.contains(&"all".to_string());
@@ -165,6 +248,9 @@ fn main() {
     }
 
     let t0 = Instant::now();
+    for app in &traces {
+        dump_trace(*app, quick, outdir);
+    }
     let mut metrics: Vec<PlanMetrics> = Vec::new();
     for name in EXPERIMENTS {
         if !(all || wanted.iter().any(|w| w == name)) {
@@ -180,15 +266,18 @@ fn main() {
             m.sim_cycles_per_host_second(),
         );
         emit(&set, outdir);
+        emit_breakdown(&m, outdir);
         metrics.push(m);
     }
     let total_wall = t0.elapsed().as_secs_f64();
 
-    let summary = summary_json(&metrics, jobs, quick, total_wall);
-    let summary_path = outdir.join("summary.json");
-    match std::fs::write(&summary_path, &summary) {
-        Ok(()) => println!("wrote {}", summary_path.display()),
-        Err(e) => eprintln!("could not write {}: {e}", summary_path.display()),
+    if !metrics.is_empty() || traces.is_empty() {
+        let summary = summary_json(&metrics, jobs, quick, total_wall);
+        let summary_path = outdir.join("summary.json");
+        match std::fs::write(&summary_path, &summary) {
+            Ok(()) => println!("wrote {}", summary_path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", summary_path.display()),
+        }
     }
     println!("done in {total_wall:.1}s with {jobs} worker(s) (scale: {scale:?})");
 }

@@ -8,8 +8,12 @@
 //!   (override with `--out`). Experiments run as declarative
 //!   [`proteus::runner::ExperimentPlan`]s on a `--jobs N` worker pool
 //!   (default: host parallelism); assembly is deterministic, so output
-//!   is byte-identical at any job count. `results/summary.json` records
-//!   per-figure and total wall time plus
-//!   simulated-cycles-per-host-second throughput;
+//!   is byte-identical at any job count. Each figure also gets a
+//!   `breakdown_<figure>.csv` attributing every simulated cycle to a
+//!   [`proteus::CycleLedger`] category, `results/summary.json` records
+//!   per-figure and total wall time, simulated-cycles-per-host-second
+//!   throughput and a `cycle_breakdown` section, and `--trace
+//!   alpha|echo|twofish` dumps a JSON-lines event timeline
+//!   (`trace_<scenario>.jsonl`);
 //! * Criterion benches (`cargo bench`) time the figure plans at several
 //!   worker counts plus the substrate microbenchmarks.

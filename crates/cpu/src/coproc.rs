@@ -64,6 +64,7 @@ pub trait Coprocessor {
     /// implementations return [`CoprocResult::Interrupted`] when a
     /// multi-cycle instruction exceeds it. `rd` and `ret_addr` are
     /// latched on software dispatch.
+    #[allow(clippy::too_many_arguments)]
     fn exec_custom(
         &mut self,
         pid: u32,

@@ -50,6 +50,24 @@ pub struct Context {
     pub regs: [u32; 16],
     /// Packed CPSR flags.
     pub cpsr: u32,
+    /// Nesting depth of in-flight software-dispatch handlers (between a
+    /// dispatch and its `retsd`). Saved with the context so cycle
+    /// attribution survives a mid-handler pre-emption.
+    pub soft_depth: u32,
+}
+
+/// Attribution of the cycles a [`Cpu::run`] span executed, drained per
+/// span via [`Cpu::take_exec_mix`]. Whatever is in neither bucket is
+/// plain user compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecMix {
+    /// Cycles clocking PFU circuits (custom-instruction execute),
+    /// outside software-dispatch handlers.
+    pub custom: u64,
+    /// Cycles inside software-dispatch handlers: the dispatching `pfu`
+    /// issue, every handler instruction, nested custom issues, and the
+    /// closing `retsd`.
+    pub soft_dispatch: u64,
 }
 
 /// Cycle cost table (ARM7TDMI-flavoured; see DESIGN.md §5).
@@ -90,6 +108,8 @@ pub struct Cpu {
     regs: [u32; 16],
     cpsr: Cpsr,
     cycles: u64,
+    soft_depth: u32,
+    mix: ExecMix,
 }
 
 impl Default for Cpu {
@@ -101,7 +121,13 @@ impl Default for Cpu {
 impl Cpu {
     /// A core reset to zeroed registers at PC 0.
     pub fn new() -> Self {
-        Self { regs: [0; 16], cpsr: Cpsr::default(), cycles: 0 }
+        Self {
+            regs: [0; 16],
+            cpsr: Cpsr::default(),
+            cycles: 0,
+            soft_depth: 0,
+            mix: ExecMix::default(),
+        }
     }
 
     /// Read a register (architectural view: `r15` is the PC).
@@ -142,13 +168,26 @@ impl Cpu {
 
     /// Capture the register context (for a PCB).
     pub fn save_context(&self) -> Context {
-        Context { regs: self.regs, cpsr: self.cpsr.to_word() }
+        Context { regs: self.regs, cpsr: self.cpsr.to_word(), soft_depth: self.soft_depth }
     }
 
     /// Restore a register context.
     pub fn restore_context(&mut self, ctx: &Context) {
         self.regs = ctx.regs;
         self.cpsr = Cpsr::from_word(ctx.cpsr);
+        self.soft_depth = ctx.soft_depth;
+    }
+
+    /// The execution-mix attribution accumulated since the last
+    /// [`Cpu::take_exec_mix`].
+    pub fn exec_mix(&self) -> ExecMix {
+        self.mix
+    }
+
+    /// Drain the execution mix (the kernel calls this once per run
+    /// span, turning it into a `Compute` event).
+    pub fn take_exec_mix(&mut self) -> ExecMix {
+        std::mem::take(&mut self.mix)
     }
 
     /// Run until `until_cycle` is reached or an exception stops execution.
@@ -162,7 +201,16 @@ impl Cpu {
             if self.cycles >= until_cycle {
                 return Stop::Quantum;
             }
-            if let Some(stop) = self.step(mem, coproc, until_cycle) {
+            let span_start = self.cycles;
+            let soft_before = self.soft_depth;
+            let stop = self.step(mem, coproc, until_cycle);
+            // Any instruction executed inside (or entering) a
+            // software-dispatch handler is soft-dispatch time, including
+            // the dispatching issue itself and the closing `retsd`.
+            if soft_before > 0 || self.soft_depth > soft_before {
+                self.mix.soft_dispatch += self.cycles - span_start;
+            }
+            if let Some(stop) = stop {
                 return stop;
             }
         }
@@ -354,10 +402,16 @@ impl Cpu {
                 match coproc.exec_custom(pid, cid, op_a, op_b, rd.index() as u8, next_pc, budget) {
                     CoprocResult::Done { value, cycles } => {
                         self.cycles += cycles;
+                        if self.soft_depth == 0 {
+                            self.mix.custom += cycles;
+                        }
                         self.regs[rd.index()] = value;
                     }
                     CoprocResult::Interrupted { cycles } => {
                         self.cycles += cycles;
+                        if self.soft_depth == 0 {
+                            self.mix.custom += cycles;
+                        }
                         // Do not advance PC: the instruction is reissued
                         // after the interrupt, resuming via the
                         // status-register mechanism (§4.4).
@@ -365,6 +419,7 @@ impl Cpu {
                     }
                     CoprocResult::SoftwareDispatch { target, cycles } => {
                         self.cycles += cycles + cost::BRANCH_TAKEN;
+                        self.soft_depth += 1;
                         self.regs[14] = next_pc;
                         next_pc = target;
                     }
@@ -391,6 +446,7 @@ impl Cpu {
             }
             Instr::RetSd { .. } => {
                 self.cycles += cost::RETSD;
+                self.soft_depth = self.soft_depth.saturating_sub(1);
                 let info = coproc.return_from_software();
                 self.regs[info.rd as usize & 0xF] = info.result;
                 next_pc = info.ret_addr;

@@ -41,5 +41,5 @@ pub mod cpu;
 pub mod memory;
 
 pub use coproc::{CoprocResult, Coprocessor, NullCoprocessor, RetInfo};
-pub use cpu::{Cpu, Stop};
+pub use cpu::{Cpu, ExecMix, Stop};
 pub use memory::{MemError, Memory};

@@ -2,7 +2,6 @@
 
 use porsche::cis::DispatchMode;
 use porsche::kernel::{KernelConfig, SpawnSpec};
-use porsche::policy::PolicyKind;
 use porsche::process::CircuitSpec;
 use proteus::machine::{Machine, MachineConfig};
 use proteus_apps::workload::{WorkloadConfig, WorkloadSpec};
@@ -282,7 +281,7 @@ fn event_trace_orders_the_management_story() {
         machine.spawn(spec.spawn_spec(false)).expect("spawn");
     }
     machine.run(2_000_000_000).expect("run");
-    let events = machine.kernel().trace().events();
+    let events = machine.kernel().trace().snapshot();
     assert!(!events.is_empty());
     // Cycles are monotonically non-decreasing.
     for pair in events.windows(2) {
@@ -297,7 +296,7 @@ fn event_trace_orders_the_management_story() {
     assert!(first_spawn < first_fault && first_fault < first_load && first_load < first_exit);
     // Two processes fighting over one PFU must show evictions in the
     // timeline, and every fault precedes some resolution event.
-    assert!(events.iter().any(|(_, e)| matches!(e, Event::Eviction)));
+    assert!(events.iter().any(|(_, e)| matches!(e, Event::Eviction { .. })));
     let text = machine.kernel().trace().to_text();
     assert!(text.contains("load (1, 0)"));
     assert!(text.contains("exit"));

@@ -15,8 +15,8 @@ use proteus_rfu::{FaultInfo, PfuIndex, Rfu, TupleKey};
 
 use crate::costs::CostModel;
 use crate::policy::{PolicyView, ReplacementPolicy};
+use crate::probe::{Event, Probe};
 use crate::process::{Pid, Process};
-use crate::stats::KernelStats;
 
 /// How the CIS resolves contention (the paper's two experiments).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -109,17 +109,31 @@ impl Cis {
     }
 
     /// Program a TLB entry, evicting (round-robin over slots) if full.
-    fn tlb_insert(cam_hand: &mut usize, cam: &mut proteus_rfu::Cam, key: TupleKey, value: u32, stats: &mut KernelStats) {
-        let slot = match cam.free_slot() {
-            Some(s) => s,
+    /// Emits the [`Event::TlbProgram`] and returns its cycle cost so
+    /// the caller's charge and the event stay structurally paired.
+    #[allow(clippy::too_many_arguments)]
+    fn tlb_insert(
+        cam_hand: &mut usize,
+        cam: &mut proteus_rfu::Cam,
+        key: TupleKey,
+        value: u32,
+        soft: bool,
+        costs: &CostModel,
+        probe: &mut Probe,
+        at: u64,
+    ) -> u64 {
+        let (slot, evicted) = match cam.free_slot() {
+            Some(s) => (s, false),
             None => {
                 let s = *cam_hand % cam.capacity();
                 *cam_hand = (s + 1) % cam.capacity();
-                stats.tlb_evictions += 1;
-                s
+                (s, true)
             }
         };
         cam.insert(slot, key, value);
+        let cost = costs.tlb_program;
+        probe.emit(at, Event::TlbProgram { key, soft, evicted, cost });
+        cost
     }
 
     /// Unload the circuit in `pfu`, saving its state frames (and, under
@@ -131,7 +145,8 @@ impl Cis {
         rfu: &mut Rfu,
         procs: &mut BTreeMap<Pid, Process>,
         costs: &CostModel,
-        stats: &mut KernelStats,
+        probe: &mut Probe,
+        at: u64,
     ) -> u64 {
         let Some(owner) = self.pfu_owner[pfu].take() else {
             return 0;
@@ -142,16 +157,17 @@ impl Cis {
         let Some((circuit, status)) = rfu.pfus_mut().unload(pfu) else {
             return 0;
         };
-        stats.evictions += 1;
+        probe.emit(at, Event::Eviction { key: owner });
         let mut cycles = 0u64;
         if let Some(reg) = procs.get_mut(&owner.pid).and_then(|p| p.circuits.get_mut(&owner.cid)) {
             cycles = costs.unload_cycles(reg.static_bytes, reg.state_words);
-            stats.config_words_moved += reg.state_words as u64
+            let words = reg.state_words as u64
                 + if costs.save_full_config_on_unload {
                     (reg.static_bytes as u64).div_ceil(4)
                 } else {
                     0
                 };
+            probe.emit(at, Event::BusTransfer { words, cost: cycles });
             reg.instance = Some(circuit);
             reg.status = status;
             reg.loaded_at = None;
@@ -160,6 +176,13 @@ impl Cis {
     }
 
     /// The custom-instruction fault handler (Figure 1's "Fault" leg).
+    ///
+    /// Every action emits its [`Event`] on `probe` at cycle `at` (the
+    /// simulated clock does not advance while the handler runs; the
+    /// kernel charges the returned `cycles` afterwards). The event
+    /// costs along any path sum exactly to the returned charge — the
+    /// conservation law the ledger is built on.
+    #[allow(clippy::too_many_arguments)]
     pub fn handle_fault(
         &mut self,
         key: TupleKey,
@@ -167,10 +190,11 @@ impl Cis {
         procs: &mut BTreeMap<Pid, Process>,
         policy: &mut dyn ReplacementPolicy,
         costs: &CostModel,
-        stats: &mut KernelStats,
+        probe: &mut Probe,
+        at: u64,
     ) -> FaultResolution {
-        stats.custom_faults += 1;
         let mut cycles = costs.fault_entry;
+        probe.emit(at, Event::Fault { key, cost: cycles });
 
         // Runaway circuits are fatal (the OS's timeliness guarantee, §2).
         if let Some(FaultInfo::Runaway { .. }) = rfu.take_fault() {
@@ -188,9 +212,10 @@ impl Cis {
         // §4.2: check for a plain mapping fault first — the circuit is
         // resident but its TLB entry was pushed out.
         if let Some(pfu) = reg.loaded_at {
-            Self::tlb_insert(&mut self.tlb_hand, rfu.tlb_hw_mut(), key, pfu as u32, stats);
-            stats.mapping_faults += 1;
-            cycles += costs.tlb_program;
+            probe.emit(at, Event::MappingRepair { key });
+            cycles += Self::tlb_insert(
+                &mut self.tlb_hand, rfu.tlb_hw_mut(), key, pfu as u32, false, costs, probe, at,
+            );
             return FaultResolution::Reissue { cycles };
         }
 
@@ -200,9 +225,10 @@ impl Cis {
         // pushed out.
         if reg.soft_active {
             let addr = reg.software_alt.expect("soft_active implies an alternative");
-            Self::tlb_insert(&mut self.tlb_hand, rfu.tlb_sw_mut(), key, addr, stats);
-            stats.mapping_faults += 1;
-            cycles += costs.tlb_program;
+            probe.emit(at, Event::MappingRepair { key });
+            cycles += Self::tlb_insert(
+                &mut self.tlb_hand, rfu.tlb_sw_mut(), key, addr, true, costs, probe, at,
+            );
             return FaultResolution::Reissue { cycles };
         }
 
@@ -246,10 +272,16 @@ impl Cis {
                 self.last_use_seq[pfu] = self.seq;
                 self.pfu_owner[pfu] = Some(key);
                 self.pfu_image[pfu] = image;
-                Self::tlb_insert(&mut self.tlb_hand, rfu.tlb_hw_mut(), key, pfu as u32, stats);
-                cycles += costs.state_swap_cycles(state_words) + costs.tlb_program;
-                stats.state_swaps += 1;
-                stats.config_words_moved += 2 * state_words as u64;
+                probe.emit(at, Event::StateSwap { key });
+                let swap_cost = costs.state_swap_cycles(state_words);
+                probe.emit(
+                    at,
+                    Event::BusTransfer { words: 2 * state_words as u64, cost: swap_cost },
+                );
+                cycles += swap_cost;
+                cycles += Self::tlb_insert(
+                    &mut self.tlb_hand, rfu.tlb_hw_mut(), key, pfu as u32, false, costs, probe, at,
+                );
                 return FaultResolution::Reissue { cycles };
             }
         }
@@ -260,9 +292,10 @@ impl Cis {
             None => {
                 if self.mode == DispatchMode::SoftwareFallback {
                     if let Some(addr) = software_alt {
-                        Self::tlb_insert(&mut self.tlb_hand, rfu.tlb_sw_mut(), key, addr, stats);
-                        stats.software_installs += 1;
-                        cycles += costs.tlb_program;
+                        probe.emit(at, Event::SoftwareInstall { key });
+                        cycles += Self::tlb_insert(
+                            &mut self.tlb_hand, rfu.tlb_sw_mut(), key, addr, true, costs, probe, at,
+                        );
                         let proc = procs.get_mut(&key.pid).expect("checked above");
                         let reg = proc.circuits.get_mut(&key.cid).expect("checked above");
                         reg.soft_active = true;
@@ -278,7 +311,7 @@ impl Cis {
                     current_pid: key.pid,
                 });
                 assert!(victim < self.pfu_owner.len(), "policy returned bad PFU {victim}");
-                cycles += self.unload(victim, rfu, procs, costs, stats);
+                cycles += self.unload(victim, rfu, procs, costs, probe, at);
                 victim
             }
         };
@@ -291,16 +324,24 @@ impl Cis {
         debug_assert!(evicted.is_none(), "target PFU was freed");
         rfu.pfus_mut().set_status(target, reg.status);
         reg.loaded_at = Some(target);
-        cycles += costs.full_load_cycles(static_bytes, state_words);
-        stats.config_loads += 1;
-        stats.config_words_moved += (static_bytes as u64).div_ceil(4) + state_words as u64;
+        probe.emit(at, Event::ConfigLoad { key });
+        let load_cost = costs.full_load_cycles(static_bytes, state_words);
+        probe.emit(
+            at,
+            Event::BusTransfer {
+                words: (static_bytes as u64).div_ceil(4) + state_words as u64,
+                cost: load_cost,
+            },
+        );
+        cycles += load_cost;
         self.seq += 1;
         self.load_seq[target] = self.seq;
         self.last_use_seq[target] = self.seq;
         self.pfu_owner[target] = Some(key);
         self.pfu_image[target] = image;
-        Self::tlb_insert(&mut self.tlb_hand, rfu.tlb_hw_mut(), key, target as u32, stats);
-        cycles += costs.tlb_program;
+        cycles += Self::tlb_insert(
+            &mut self.tlb_hand, rfu.tlb_hw_mut(), key, target as u32, false, costs, probe, at,
+        );
         FaultResolution::Reissue { cycles }
     }
 
@@ -353,29 +394,29 @@ mod tests {
         }
     }
 
-    fn setup(n_procs: u32, pfus: usize, mode: DispatchMode, sw: Option<u32>) -> (Cis, Rfu, BTreeMap<Pid, Process>, Box<dyn ReplacementPolicy>, CostModel, KernelStats) {
+    fn setup(n_procs: u32, pfus: usize, mode: DispatchMode, sw: Option<u32>) -> (Cis, Rfu, BTreeMap<Pid, Process>, Box<dyn ReplacementPolicy>, CostModel, Probe) {
         let cis = Cis::new(pfus, mode);
         let rfu = Rfu::new(RfuConfig { pfus, ..RfuConfig::default() });
         let mut procs = BTreeMap::new();
         for pid in 1..=n_procs {
             procs.insert(pid, proc_with_circuit(pid, 0, sw));
         }
-        (cis, rfu, procs, PolicyKind::RoundRobin.build(), CostModel::default(), KernelStats::default())
+        (cis, rfu, procs, PolicyKind::RoundRobin.build(), CostModel::default(), Probe::new(256))
     }
 
     #[test]
     fn first_fault_loads_into_free_pfu() {
-        let (mut cis, mut rfu, mut procs, mut pol, costs, mut stats) =
+        let (mut cis, mut rfu, mut procs, mut pol, costs, mut probe) =
             setup(1, 4, DispatchMode::HardwareOnly, None);
         let key = TupleKey::new(1, 0);
-        let res = cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        let res = cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
         match res {
             FaultResolution::Reissue { cycles } => {
                 assert!(cycles > 13_000, "full 54 KB load, got {cycles}");
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(stats.config_loads, 1);
+        assert_eq!(probe.stats().config_loads, 1);
         // Instruction now dispatches in hardware.
         assert!(matches!(
             rfu.exec_custom(1, 0, 2, 3, 0, 0, 100),
@@ -385,22 +426,22 @@ mod tests {
 
     #[test]
     fn unregistered_cid_kills() {
-        let (mut cis, mut rfu, mut procs, mut pol, costs, mut stats) =
+        let (mut cis, mut rfu, mut procs, mut pol, costs, mut probe) =
             setup(1, 4, DispatchMode::HardwareOnly, None);
-        let res = cis.handle_fault(TupleKey::new(1, 9), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        let res = cis.handle_fault(TupleKey::new(1, 9), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
         assert_eq!(res, FaultResolution::Kill);
     }
 
     #[test]
     fn contention_evicts_a_victim() {
-        let (mut cis, mut rfu, mut procs, mut pol, costs, mut stats) =
+        let (mut cis, mut rfu, mut procs, mut pol, costs, mut probe) =
             setup(5, 4, DispatchMode::HardwareOnly, None);
         for pid in 1..=5 {
-            let res = cis.handle_fault(TupleKey::new(pid, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+            let res = cis.handle_fault(TupleKey::new(pid, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
             assert!(matches!(res, FaultResolution::Reissue { .. }));
         }
-        assert_eq!(stats.config_loads, 5);
-        assert_eq!(stats.evictions, 1, "fifth circuit evicted one of the four");
+        assert_eq!(probe.stats().config_loads, 5);
+        assert_eq!(probe.stats().evictions, 1, "fifth circuit evicted one of the four");
         // The evicted process's registration got its instance (and
         // state) back.
         let evicted_pid = (1..=5)
@@ -411,14 +452,14 @@ mod tests {
 
     #[test]
     fn software_fallback_avoids_eviction() {
-        let (mut cis, mut rfu, mut procs, mut pol, costs, mut stats) =
+        let (mut cis, mut rfu, mut procs, mut pol, costs, mut probe) =
             setup(5, 4, DispatchMode::SoftwareFallback, Some(0x4000));
         for pid in 1..=5 {
-            cis.handle_fault(TupleKey::new(pid, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+            cis.handle_fault(TupleKey::new(pid, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
         }
-        assert_eq!(stats.config_loads, 4, "only the four free PFUs were filled");
-        assert_eq!(stats.evictions, 0);
-        assert_eq!(stats.software_installs, 1);
+        assert_eq!(probe.stats().config_loads, 4, "only the four free PFUs were filled");
+        assert_eq!(probe.stats().evictions, 0);
+        assert_eq!(probe.stats().software_installs, 1);
         // Fifth process now dispatches to software.
         assert!(matches!(
             rfu.exec_custom(5, 0, 2, 3, 0, 0x88, 100),
@@ -428,22 +469,22 @@ mod tests {
 
     #[test]
     fn mapping_fault_is_cheap() {
-        let (mut cis, mut rfu, mut procs, mut pol, costs, mut stats) =
+        let (mut cis, mut rfu, mut procs, mut pol, costs, mut probe) =
             setup(1, 4, DispatchMode::HardwareOnly, None);
         let key = TupleKey::new(1, 0);
-        cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
         // Simulate the TLB entry being pushed out while the circuit
         // stays resident.
         rfu.tlb_hw_mut().invalidate(key);
-        let res = cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        let res = cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
         match res {
             FaultResolution::Reissue { cycles } => {
                 assert!(cycles < 200, "mapping fault must not reload 54 KB, got {cycles}");
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(stats.mapping_faults, 1);
-        assert_eq!(stats.config_loads, 1, "no second load");
+        assert_eq!(probe.stats().mapping_faults, 1);
+        assert_eq!(probe.stats().config_loads, 1, "no second load");
     }
 
     #[test]
@@ -457,19 +498,19 @@ mod tests {
         procs.insert(2, proc_with_image(2, 0, None, Some(77)));
         let mut pol = PolicyKind::RoundRobin.build();
         let costs = CostModel::default();
-        let mut stats = KernelStats::default();
+        let mut probe = Probe::new(256);
 
-        let r1 = cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        let r1 = cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
         assert!(matches!(r1, FaultResolution::Reissue { cycles } if cycles > 13_000), "first is a full load");
-        match cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats) {
+        match cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0) {
             FaultResolution::Reissue { cycles } => {
                 assert!(cycles < 500, "handover must be a state swap, took {cycles}");
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert_eq!(stats.config_loads, 1);
-        assert_eq!(stats.state_swaps, 1);
-        assert_eq!(stats.evictions, 0);
+        assert_eq!(probe.stats().config_loads, 1);
+        assert_eq!(probe.stats().state_swaps, 1);
+        assert_eq!(probe.stats().evictions, 0);
         // Process 2 now dispatches in hardware; process 1's mapping is
         // gone and its instance is home with its state.
         assert!(matches!(
@@ -489,20 +530,20 @@ mod tests {
         procs.insert(2, proc_with_image(2, 0, None, Some(88)));
         let mut pol = PolicyKind::RoundRobin.build();
         let costs = CostModel::default();
-        let mut stats = KernelStats::default();
-        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
-        cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
-        assert_eq!(stats.state_swaps, 0);
-        assert_eq!(stats.config_loads, 2);
-        assert_eq!(stats.evictions, 1, "incompatible images evict as usual");
+        let mut probe = Probe::new(256);
+        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
+        cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
+        assert_eq!(probe.stats().state_swaps, 0);
+        assert_eq!(probe.stats().config_loads, 2);
+        assert_eq!(probe.stats().evictions, 1, "incompatible images evict as usual");
     }
 
     #[test]
     fn release_process_frees_pfus_and_tlbs() {
-        let (mut cis, mut rfu, mut procs, mut pol, costs, mut stats) =
+        let (mut cis, mut rfu, mut procs, mut pol, costs, mut probe) =
             setup(2, 4, DispatchMode::HardwareOnly, None);
-        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
-        cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
+        cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
         cis.release_process(1, &mut rfu);
         assert_eq!(rfu.pfus().free_pfus().len(), 3);
         assert_eq!(rfu.tlb_hw().lookup(TupleKey::new(1, 0)), None);
@@ -527,16 +568,16 @@ mod tests {
         }
         let mut pol = PolicyKind::RoundRobin.build();
         let costs = CostModel::default();
-        let mut stats = KernelStats::default();
+        let mut probe = Probe::new(256);
 
-        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
         // Run 4 of 10 cycles, then get interrupted.
         assert!(matches!(
             rfu.exec_custom(1, 0, 20, 22, 0, 0, 4),
             proteus_cpu::coproc::CoprocResult::Interrupted { cycles: 4 }
         ));
         // Process 2 steals the PFU.
-        cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
         assert!(matches!(
             rfu.exec_custom(2, 0, 1, 1, 0, 0, 1000),
             proteus_cpu::coproc::CoprocResult::Done { value: 2, .. }
@@ -547,7 +588,7 @@ mod tests {
             rfu.exec_custom(1, 0, 20, 22, 0, 0, 1000),
             proteus_cpu::coproc::CoprocResult::Fault
         ));
-        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut stats);
+        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
         assert!(matches!(
             rfu.exec_custom(1, 0, 20, 22, 0, 0, 1000),
             proteus_cpu::coproc::CoprocResult::Done { value: 42, cycles: 6 }

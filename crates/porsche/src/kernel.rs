@@ -13,9 +13,10 @@ use proteus_rfu::{Rfu, TupleKey};
 use crate::cis::{Cis, DispatchMode, FaultResolution};
 use crate::costs::CostModel;
 use crate::policy::{PolicyKind, ReplacementPolicy};
+use crate::probe::{CycleLedger, Event, EventSink, Probe};
 use crate::process::{CircuitSpec, Pid, ProcState, Process, Registered};
 use crate::stats::KernelStats;
-use crate::trace::{Event, Trace};
+use crate::trace::Trace;
 
 /// `swi` numbers understood by POrSCHE.
 pub mod swi {
@@ -195,6 +196,8 @@ pub struct RunReport {
     pub makespan: u64,
     /// Management statistics.
     pub stats: KernelStats,
+    /// Where every simulated cycle went (categories sum to the clock).
+    pub ledger: CycleLedger,
 }
 
 impl RunReport {
@@ -214,8 +217,7 @@ pub struct Kernel {
     next_pid: Pid,
     cis: Option<Cis>,
     policy: Box<dyn ReplacementPolicy>,
-    stats: KernelStats,
-    trace: Trace,
+    probe: Probe,
     quantum_end: u64,
 }
 
@@ -223,7 +225,7 @@ impl Kernel {
     /// A kernel with no processes.
     pub fn new(config: KernelConfig) -> Self {
         let policy = config.policy.build();
-        let trace = Trace::with_capacity(config.trace_capacity);
+        let probe = Probe::new(config.trace_capacity);
         Self {
             config,
             procs: BTreeMap::new(),
@@ -232,8 +234,7 @@ impl Kernel {
             next_pid: 1,
             cis: None,
             policy,
-            stats: KernelStats::default(),
-            trace,
+            probe,
             quantum_end: 0,
         }
     }
@@ -250,6 +251,17 @@ impl Kernel {
     /// [`KernelError::Spawn`] if the program does not fit in the
     /// process's memory; [`KernelError::DuplicateCid`] on CID collisions.
     pub fn spawn(&mut self, spec: SpawnSpec) -> Result<Pid, KernelError> {
+        self.spawn_at(spec, 0)
+    }
+
+    /// Create a process, stamping its [`Event::Spawn`] at simulated
+    /// cycle `at` — the arrival time for dynamic workloads, so a
+    /// spawn→exit span in the event stream equals the job's turnaround.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Kernel::spawn`].
+    pub fn spawn_at(&mut self, spec: SpawnSpec, at: u64) -> Result<Pid, KernelError> {
         let pid = self.next_pid;
         self.next_pid += 1;
         let mem_size = if spec.mem_size == 0 { self.config.default_mem } else { spec.mem_size };
@@ -285,7 +297,7 @@ impl Kernel {
             },
         );
         self.ready.push_back(pid);
-        self.trace.record(0, Event::Spawn { pid });
+        self.probe.emit(at, Event::Spawn { pid });
         Ok(pid)
     }
 
@@ -294,15 +306,34 @@ impl Kernel {
         self.procs.get(&pid).map(|p| p.console.as_slice())
     }
 
-    /// Statistics gathered so far.
+    /// Statistics gathered so far (a fold over the probe stream).
     pub fn stats(&self) -> &KernelStats {
-        &self.stats
+        self.probe.stats()
+    }
+
+    /// The cycle-attribution ledger gathered so far.
+    pub fn ledger(&self) -> &CycleLedger {
+        self.probe.ledger()
     }
 
     /// The recorded event timeline (empty unless
     /// [`KernelConfig::trace_capacity`] was set).
     pub fn trace(&self) -> &Trace {
-        &self.trace
+        self.probe.trace()
+    }
+
+    /// Attach an extra [`EventSink`] to the instrumentation bus; it
+    /// observes every event emitted from now on.
+    pub fn add_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.probe.add_sink(sink);
+    }
+
+    /// Record `cycles` of externally-imposed idle time ending at `at`
+    /// (the embedder advances the clock; the kernel attributes it).
+    pub fn note_idle(&mut self, at: u64, cycles: u64) {
+        if cycles > 0 {
+            self.probe.emit(at, Event::Idle { cycles });
+        }
     }
 
     fn live_count(&self) -> usize {
@@ -334,6 +365,32 @@ impl Kernel {
         self.quantum_end = cpu.cycles() + self.config.quantum;
     }
 
+    /// Emit the [`Event::Compute`] for a guest execution span that
+    /// started at `span_start`, splitting it into user, custom-execute
+    /// and software-dispatch cycles using the CPU's execution mix and
+    /// the RFU's dispatch counters (both drained per span).
+    fn attribute_span(&mut self, pid: Pid, span_start: u64, cpu: &mut Cpu, rfu: &mut Rfu) {
+        let mix = cpu.take_exec_mix();
+        let counters = rfu.take_dispatch_counters();
+        let span = cpu.cycles() - span_start;
+        if span == 0 {
+            return;
+        }
+        debug_assert!(mix.custom + mix.soft_dispatch <= span, "mix exceeds span");
+        let user = span.saturating_sub(mix.custom + mix.soft_dispatch);
+        self.probe.emit(
+            cpu.cycles(),
+            Event::Compute {
+                pid,
+                user,
+                custom: mix.custom,
+                soft: mix.soft_dispatch,
+                hw_dispatches: counters.hw_dispatches,
+                sw_dispatches: counters.sw_dispatches,
+            },
+        );
+    }
+
     /// Timer-driven pre-emption: rotate the ready queue.
     fn preempt(&mut self, cpu: &mut Cpu, rfu: &mut Rfu) {
         match self.ready.pop_front() {
@@ -342,17 +399,20 @@ impl Kernel {
                 if let Some(cur) = self.current {
                     self.ready.push_back(cur);
                 }
-                cpu.add_cycles(self.config.costs.context_switch);
-                self.stats.context_switches += 1;
-                self.trace.record(cpu.cycles(), Event::ContextSwitch { from: self.current, to: next });
+                let cost = self.config.costs.context_switch;
+                cpu.add_cycles(cost);
+                self.probe.emit(
+                    cpu.cycles(),
+                    Event::ContextSwitch { from: self.current, to: next, cost },
+                );
                 self.restore(next, cpu, rfu);
             }
             None => {
                 // Sole runnable process: acknowledge the timer and carry on.
-                cpu.add_cycles(self.config.costs.timer_tick);
-                self.stats.timer_ticks += 1;
+                let cost = self.config.costs.timer_tick;
+                cpu.add_cycles(cost);
                 if let Some(pid) = self.current {
-                    self.trace.record(cpu.cycles(), Event::TimerTick { pid });
+                    self.probe.emit(cpu.cycles(), Event::TimerTick { pid, cost });
                 }
                 self.quantum_end = cpu.cycles() + self.config.quantum;
             }
@@ -371,21 +431,20 @@ impl Kernel {
         }
         match state {
             ProcState::Killed => {
-                self.stats.kills += 1;
-                self.trace.record(cpu.cycles(), Event::Kill { pid });
+                self.probe.emit(cpu.cycles(), Event::Kill { pid });
             }
             ProcState::Exited { code } => {
-                self.trace.record(cpu.cycles(), Event::Exit { pid, code });
+                self.probe.emit(cpu.cycles(), Event::Exit { pid, code });
             }
             ProcState::Ready => {}
         }
     }
 
     fn syscall(&mut self, imm: u32, cpu: &mut Cpu, rfu: &mut Rfu) {
-        self.stats.syscalls += 1;
-        cpu.add_cycles(self.config.costs.syscall);
+        let cost = self.config.costs.syscall;
+        cpu.add_cycles(cost);
         let Some(pid) = self.current else { return };
-        self.trace.record(cpu.cycles(), Event::Syscall { pid, number: imm });
+        self.probe.emit(cpu.cycles(), Event::Syscall { pid, number: imm, cost });
         match imm {
             swi::EXIT => {
                 let code = cpu.reg(0);
@@ -482,8 +541,12 @@ impl Kernel {
                 // Current process died; pick the next runnable one.
                 match self.ready.pop_front() {
                     Some(next) => {
-                        cpu.add_cycles(self.config.costs.context_switch);
-                        self.stats.context_switches += 1;
+                        let cost = self.config.costs.context_switch;
+                        cpu.add_cycles(cost);
+                        self.probe.emit(
+                            cpu.cycles(),
+                            Event::ContextSwitch { from: None, to: next, cost },
+                        );
                         self.restore(next, cpu, rfu);
                         continue;
                     }
@@ -494,10 +557,12 @@ impl Kernel {
                 return Err(KernelError::CycleLimit { cycles: cpu.cycles(), live: self.live_count() });
             }
             let until = self.quantum_end.min(cycle_limit).min(stop_cycle);
+            let span_start = cpu.cycles();
             let stop = {
                 let p = self.procs.get_mut(&pid).expect("current process exists");
                 cpu.run(&mut p.mem, rfu, until)
             };
+            self.attribute_span(pid, span_start, cpu, rfu);
             match stop {
                 Stop::Quantum => {
                     if cpu.cycles() >= cycle_limit && self.live_count() > 0 {
@@ -511,8 +576,6 @@ impl Kernel {
                 Stop::Swi { imm } => self.syscall(imm, cpu, rfu),
                 Stop::CustomFault { cid, .. } => {
                     let key = TupleKey::new(pid, cid);
-                    self.trace.record(cpu.cycles(), Event::Fault { key });
-                    let before = self.stats;
                     let cis = self.cis.as_mut().expect("created above");
                     let resolution = cis.handle_fault(
                         key,
@@ -520,26 +583,9 @@ impl Kernel {
                         &mut self.procs,
                         self.policy.as_mut(),
                         &self.config.costs,
-                        &mut self.stats,
+                        &mut self.probe,
+                        cpu.cycles(),
                     );
-                    if self.trace.enabled() {
-                        let cycle = cpu.cycles();
-                        if self.stats.mapping_faults > before.mapping_faults {
-                            self.trace.record(cycle, Event::MappingRepair { key });
-                        }
-                        if self.stats.evictions > before.evictions {
-                            self.trace.record(cycle, Event::Eviction);
-                        }
-                        if self.stats.config_loads > before.config_loads {
-                            self.trace.record(cycle, Event::ConfigLoad { key });
-                        }
-                        if self.stats.state_swaps > before.state_swaps {
-                            self.trace.record(cycle, Event::StateSwap { key });
-                        }
-                        if self.stats.software_installs > before.software_installs {
-                            self.trace.record(cycle, Event::SoftwareInstall { key });
-                        }
-                    }
                     match resolution {
                         FaultResolution::Reissue { cycles } => {
                             cpu.add_cycles(cycles);
@@ -547,7 +593,13 @@ impl Kernel {
                             self.quantum_end =
                                 self.quantum_end.max(cpu.cycles() + self.config.post_fault_grace);
                         }
-                        FaultResolution::Kill => self.terminate(ProcState::Killed, cpu, rfu),
+                        FaultResolution::Kill => {
+                            // The handler ran far enough to reject the
+                            // request; charge its entry/exit so the
+                            // emitted Fault cost stays conserved.
+                            cpu.add_cycles(self.config.costs.fault_entry);
+                            self.terminate(ProcState::Killed, cpu, rfu);
+                        }
                     }
                 }
                 Stop::Undefined { .. } | Stop::MemFault { .. } => {
@@ -581,7 +633,13 @@ impl Kernel {
             .filter_map(|p| p.finish_cycle)
             .max()
             .unwrap_or_else(|| cpu.cycles());
-        RunReport { exited, killed, makespan, stats: self.stats }
+        RunReport {
+            exited,
+            killed,
+            makespan,
+            stats: *self.probe.stats(),
+            ledger: *self.probe.ledger(),
+        }
     }
 }
 

@@ -27,7 +27,11 @@
 //!   random, plus the LRU / Second Chance / FIFO family that §4.5's
 //!   usage counters enable;
 //! * [`costs`] — the explicit cost model (54 KB configuration loads,
-//!   state-frame transfers, TLB programming, context switches).
+//!   state-frame transfers, TLB programming, context switches);
+//! * [`probe`] — the unified instrumentation bus: every management
+//!   action emits a typed [`probe::Event`] at the point of action, and
+//!   [`stats::KernelStats`], [`trace::Trace`] and
+//!   [`probe::CycleLedger`] are pure folds over that one stream.
 //!
 //! # Example
 //!
@@ -53,6 +57,7 @@ pub mod cis;
 pub mod costs;
 pub mod kernel;
 pub mod policy;
+pub mod probe;
 pub mod process;
 pub mod stats;
 pub mod trace;
@@ -61,6 +66,7 @@ pub use cis::DispatchMode;
 pub use costs::CostModel;
 pub use kernel::{Kernel, KernelConfig, KernelError, RunReport, SpawnSpec};
 pub use policy::{PolicyKind, PolicyView, ReplacementPolicy};
+pub use probe::{CycleLedger, Event, EventSink, Probe};
 pub use process::{CircuitSpec, Pid, ProcState};
 pub use stats::KernelStats;
-pub use trace::{Event, Trace};
+pub use trace::Trace;

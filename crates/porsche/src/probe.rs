@@ -1,0 +1,495 @@
+//! The unified instrumentation bus.
+//!
+//! Every observable management action — scheduling, faults, TLB
+//! programming, configuration-bus transfers, executed compute spans,
+//! idle gaps — is emitted exactly once, *at the point of action*, as a
+//! typed [`Event`]. Consumers ([`KernelStats`], [`Trace`],
+//! [`CycleLedger`], or any custom [`EventSink`]) are pure folds over
+//! that one stream: no counter is hand-bumped anywhere else, and no
+//! event is reconstructed after the fact by diffing snapshots.
+//!
+//! Cost-carrying events satisfy a conservation law the integration
+//! tests pin down: over a whole run, the sum of every `cost` (plus the
+//! compute and idle spans) equals the simulated clock, so
+//! [`CycleLedger::total`] reproduces `cpu.cycles()` exactly and each
+//! cycle lands in exactly one category — the §5.1.3 "where did the time
+//! go" breakdown the paper argues from.
+
+use std::fmt;
+
+use proteus_rfu::TupleKey;
+
+use crate::process::Pid;
+use crate::stats::KernelStats;
+use crate::trace::Trace;
+
+/// One instrumentation event. Variants that consume simulated time
+/// carry the cycles charged (`cost` or explicit span fields); the rest
+/// are zero-cost markers that only order the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A process was created.
+    Spawn {
+        /// New process.
+        pid: Pid,
+    },
+    /// The CPU switched from one process to another.
+    ContextSwitch {
+        /// Previously running process (`None` right after a terminate).
+        from: Option<Pid>,
+        /// Now-running process.
+        to: Pid,
+        /// Cycles charged for the switch.
+        cost: u64,
+    },
+    /// The quantum expired with no other runnable process.
+    TimerTick {
+        /// The process that keeps running.
+        pid: Pid,
+        /// Cycles charged to acknowledge the timer.
+        cost: u64,
+    },
+    /// A custom-instruction fault was taken (every fault, whatever the
+    /// resolution).
+    Fault {
+        /// The faulting tuple.
+        key: TupleKey,
+        /// Handler entry/exit cycles.
+        cost: u64,
+    },
+    /// The fault was a mapping fault: the circuit (or its software
+    /// route) was still installed and only a TLB entry is re-programmed.
+    MappingRepair {
+        /// The repaired tuple.
+        key: TupleKey,
+    },
+    /// A dispatch-TLB entry was programmed.
+    TlbProgram {
+        /// The tuple mapped.
+        key: TupleKey,
+        /// `true` for TLB2 (software dispatch), `false` for TLB1.
+        soft: bool,
+        /// Whether a resident entry was evicted to make the slot.
+        evicted: bool,
+        /// Cycles charged for the programming.
+        cost: u64,
+    },
+    /// A full configuration was loaded.
+    ConfigLoad {
+        /// The tuple now resident.
+        key: TupleKey,
+    },
+    /// A resident circuit was evicted to make room.
+    Eviction {
+        /// The tuple whose circuit was swapped out.
+        key: TupleKey,
+    },
+    /// A shared configuration changed hands via a state-frame swap.
+    StateSwap {
+        /// The tuple now owning the shared PFU.
+        key: TupleKey,
+    },
+    /// The fault was resolved by mapping the software alternative.
+    SoftwareInstall {
+        /// The tuple now dispatching to software.
+        key: TupleKey,
+    },
+    /// Words moved over the configuration bus (static frames, state
+    /// frames, or both), including the per-operation controller
+    /// overhead in `cost`.
+    BusTransfer {
+        /// 32-bit words transferred.
+        words: u64,
+        /// Cycles the bus operation took.
+        cost: u64,
+    },
+    /// A system call was serviced.
+    Syscall {
+        /// Calling process.
+        pid: Pid,
+        /// SWI number.
+        number: u32,
+        /// Kernel entry/exit cycles.
+        cost: u64,
+    },
+    /// A span of guest execution completed (emitted when control
+    /// returns to the kernel), split by where the cycles went.
+    Compute {
+        /// The process that ran.
+        pid: Pid,
+        /// Plain core instructions.
+        user: u64,
+        /// Cycles clocking PFU circuits (custom-instruction execute).
+        custom: u64,
+        /// Cycles in software-dispatch handlers (dispatch branch,
+        /// handler body, `retsd`) — including custom issues made while
+        /// inside a handler.
+        soft: u64,
+        /// Custom instructions dispatched to hardware in this span.
+        hw_dispatches: u64,
+        /// Custom instructions dispatched to software in this span.
+        sw_dispatches: u64,
+    },
+    /// The machine sat idle waiting for external work to arrive.
+    Idle {
+        /// Idle cycles.
+        cycles: u64,
+    },
+    /// A process exited.
+    Exit {
+        /// The process.
+        pid: Pid,
+        /// Exit code.
+        code: u32,
+    },
+    /// A process was killed by the kernel.
+    Kill {
+        /// The process.
+        pid: Pid,
+    },
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Spawn { pid } => write!(f, "spawn pid={pid}"),
+            Event::ContextSwitch { from: Some(p), to, .. } => write!(f, "switch {p} -> {to}"),
+            Event::ContextSwitch { from: None, to, .. } => write!(f, "dispatch -> {to}"),
+            Event::TimerTick { pid, .. } => write!(f, "tick pid={pid}"),
+            Event::Fault { key, .. } => write!(f, "fault ({}, {})", key.pid, key.cid),
+            Event::MappingRepair { key } => write!(f, "tlb-repair ({}, {})", key.pid, key.cid),
+            Event::TlbProgram { key, soft, evicted, .. } => write!(
+                f,
+                "tlb-program{} ({}, {}){}",
+                if *soft { "[sw]" } else { "" },
+                key.pid,
+                key.cid,
+                if *evicted { " +evict" } else { "" }
+            ),
+            Event::ConfigLoad { key } => write!(f, "load ({}, {})", key.pid, key.cid),
+            Event::Eviction { key } => write!(f, "evict ({}, {})", key.pid, key.cid),
+            Event::StateSwap { key } => write!(f, "state-swap ({}, {})", key.pid, key.cid),
+            Event::SoftwareInstall { key } => write!(f, "soft-map ({}, {})", key.pid, key.cid),
+            Event::BusTransfer { words, .. } => write!(f, "bus {words}w"),
+            Event::Syscall { pid, number, .. } => write!(f, "swi pid={pid} #{number}"),
+            Event::Compute { pid, user, custom, soft, .. } => {
+                write!(f, "compute pid={pid} user={user} custom={custom} soft={soft}")
+            }
+            Event::Idle { cycles } => write!(f, "idle {cycles}"),
+            Event::Exit { pid, code } => write!(f, "exit pid={pid} code={code}"),
+            Event::Kill { pid } => write!(f, "kill pid={pid}"),
+        }
+    }
+}
+
+impl Event {
+    /// Render as one JSON object (hand-rolled; the workspace carries no
+    /// serialization dependency) for the `repro --trace` timeline dump.
+    pub fn to_json(&self, at: u64) -> String {
+        fn key_fields(key: &TupleKey) -> String {
+            format!("\"pid\":{},\"cid\":{}", key.pid, key.cid)
+        }
+        let body = match self {
+            Event::Spawn { pid } => format!("\"kind\":\"spawn\",\"pid\":{pid}"),
+            Event::ContextSwitch { from, to, cost } => {
+                let from = from.map_or("null".to_string(), |p| p.to_string());
+                format!("\"kind\":\"context_switch\",\"from\":{from},\"to\":{to},\"cost\":{cost}")
+            }
+            Event::TimerTick { pid, cost } => {
+                format!("\"kind\":\"timer_tick\",\"pid\":{pid},\"cost\":{cost}")
+            }
+            Event::Fault { key, cost } => {
+                format!("\"kind\":\"fault\",{},\"cost\":{cost}", key_fields(key))
+            }
+            Event::MappingRepair { key } => {
+                format!("\"kind\":\"mapping_repair\",{}", key_fields(key))
+            }
+            Event::TlbProgram { key, soft, evicted, cost } => format!(
+                "\"kind\":\"tlb_program\",{},\"soft\":{soft},\"evicted\":{evicted},\"cost\":{cost}",
+                key_fields(key)
+            ),
+            Event::ConfigLoad { key } => format!("\"kind\":\"config_load\",{}", key_fields(key)),
+            Event::Eviction { key } => format!("\"kind\":\"eviction\",{}", key_fields(key)),
+            Event::StateSwap { key } => format!("\"kind\":\"state_swap\",{}", key_fields(key)),
+            Event::SoftwareInstall { key } => {
+                format!("\"kind\":\"software_install\",{}", key_fields(key))
+            }
+            Event::BusTransfer { words, cost } => {
+                format!("\"kind\":\"bus_transfer\",\"words\":{words},\"cost\":{cost}")
+            }
+            Event::Syscall { pid, number, cost } => {
+                format!("\"kind\":\"syscall\",\"pid\":{pid},\"number\":{number},\"cost\":{cost}")
+            }
+            Event::Compute { pid, user, custom, soft, hw_dispatches, sw_dispatches } => format!(
+                "\"kind\":\"compute\",\"pid\":{pid},\"user\":{user},\"custom\":{custom},\
+                 \"soft\":{soft},\"hw_dispatches\":{hw_dispatches},\"sw_dispatches\":{sw_dispatches}"
+            ),
+            Event::Idle { cycles } => format!("\"kind\":\"idle\",\"cycles\":{cycles}"),
+            Event::Exit { pid, code } => format!("\"kind\":\"exit\",\"pid\":{pid},\"code\":{code}"),
+            Event::Kill { pid } => format!("\"kind\":\"kill\",\"pid\":{pid}"),
+        };
+        format!("{{\"cycle\":{at},{body}}}")
+    }
+}
+
+/// A consumer of the event stream. Sinks must be pure folds: they may
+/// accumulate state from the events they see but must not feed back
+/// into the simulation.
+pub trait EventSink: Send {
+    /// Observe one event, stamped at simulated cycle `at`.
+    fn on_event(&mut self, at: u64, event: &Event);
+}
+
+/// Where every simulated cycle went — the paper's §5.1.3 discussion as
+/// an invariant: the categories partition the clock, so
+/// [`CycleLedger::total`] equals total simulated cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CycleLedger {
+    /// Plain core instructions in user code.
+    pub user_compute: u64,
+    /// Cycles clocking PFU circuits (custom-instruction execute).
+    pub custom_execute: u64,
+    /// Cycles in software-dispatch handlers.
+    pub soft_dispatch: u64,
+    /// Context switches and timer ticks.
+    pub context_switch: u64,
+    /// Custom-instruction fault handler entry/exit.
+    pub fault_handling: u64,
+    /// Dispatch-TLB programming.
+    pub tlb_programming: u64,
+    /// Configuration-bus transfers (loads, unload write-backs, state
+    /// swaps, including controller overhead).
+    pub config_bus: u64,
+    /// System-call entry/exit.
+    pub syscall: u64,
+    /// Idle waiting for work.
+    pub idle: u64,
+}
+
+impl CycleLedger {
+    /// Category names, in the order [`CycleLedger::values`] returns them
+    /// (also the CSV column order).
+    pub const CATEGORIES: [&'static str; 9] = [
+        "user_compute",
+        "custom_execute",
+        "soft_dispatch",
+        "context_switch",
+        "fault_handling",
+        "tlb_programming",
+        "config_bus",
+        "syscall",
+        "idle",
+    ];
+
+    /// Category values in [`CycleLedger::CATEGORIES`] order.
+    pub fn values(&self) -> [u64; 9] {
+        [
+            self.user_compute,
+            self.custom_execute,
+            self.soft_dispatch,
+            self.context_switch,
+            self.fault_handling,
+            self.tlb_programming,
+            self.config_bus,
+            self.syscall,
+            self.idle,
+        ]
+    }
+
+    /// Total attributed cycles. Equals the simulated clock at the end of
+    /// a run (the conservation property).
+    pub fn total(&self) -> u64 {
+        self.values().iter().sum()
+    }
+
+    /// Sum of the management-only categories (everything except user
+    /// compute, custom execute and idle).
+    pub fn management(&self) -> u64 {
+        self.soft_dispatch
+            + self.context_switch
+            + self.fault_handling
+            + self.tlb_programming
+            + self.config_bus
+            + self.syscall
+    }
+
+    /// Merge another ledger into this one.
+    pub fn absorb(&mut self, other: &CycleLedger) {
+        self.user_compute += other.user_compute;
+        self.custom_execute += other.custom_execute;
+        self.soft_dispatch += other.soft_dispatch;
+        self.context_switch += other.context_switch;
+        self.fault_handling += other.fault_handling;
+        self.tlb_programming += other.tlb_programming;
+        self.config_bus += other.config_bus;
+        self.syscall += other.syscall;
+        self.idle += other.idle;
+    }
+
+    /// Render as a JSON object (category → cycles, plus `total`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (name, value) in Self::CATEGORIES.iter().zip(self.values()) {
+            out.push_str(&format!("\"{name}\":{value},"));
+        }
+        out.push_str(&format!("\"total\":{}}}", self.total()));
+        out
+    }
+}
+
+impl EventSink for CycleLedger {
+    fn on_event(&mut self, _at: u64, event: &Event) {
+        match *event {
+            Event::Compute { user, custom, soft, .. } => {
+                self.user_compute += user;
+                self.custom_execute += custom;
+                self.soft_dispatch += soft;
+            }
+            Event::ContextSwitch { cost, .. } | Event::TimerTick { cost, .. } => {
+                self.context_switch += cost;
+            }
+            Event::Fault { cost, .. } => self.fault_handling += cost,
+            Event::TlbProgram { cost, .. } => self.tlb_programming += cost,
+            Event::BusTransfer { cost, .. } => self.config_bus += cost,
+            Event::Syscall { cost, .. } => self.syscall += cost,
+            Event::Idle { cycles } => self.idle += cycles,
+            Event::Spawn { .. }
+            | Event::MappingRepair { .. }
+            | Event::ConfigLoad { .. }
+            | Event::Eviction { .. }
+            | Event::StateSwap { .. }
+            | Event::SoftwareInstall { .. }
+            | Event::Exit { .. }
+            | Event::Kill { .. } => {}
+        }
+    }
+}
+
+/// The fan-out point: one `emit` call feeds the stats fold, the cycle
+/// ledger, the bounded trace, and any extra sinks the embedder added.
+pub struct Probe {
+    stats: KernelStats,
+    ledger: CycleLedger,
+    trace: Trace,
+    extra: Vec<Box<dyn EventSink>>,
+}
+
+impl fmt::Debug for Probe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Probe")
+            .field("stats", &self.stats)
+            .field("ledger", &self.ledger)
+            .field("trace", &self.trace)
+            .field("extra_sinks", &self.extra.len())
+            .finish()
+    }
+}
+
+impl Probe {
+    /// A probe whose trace keeps at most `trace_capacity` events
+    /// (0 disables tracing; stats and ledger always accumulate).
+    pub fn new(trace_capacity: usize) -> Self {
+        Self {
+            stats: KernelStats::default(),
+            ledger: CycleLedger::default(),
+            trace: Trace::with_capacity(trace_capacity),
+            extra: Vec::new(),
+        }
+    }
+
+    /// Emit one event at simulated cycle `at` to every sink.
+    pub fn emit(&mut self, at: u64, event: Event) {
+        self.stats.on_event(at, &event);
+        self.ledger.on_event(at, &event);
+        self.trace.on_event(at, &event);
+        for sink in &mut self.extra {
+            sink.on_event(at, &event);
+        }
+    }
+
+    /// The folded statistics.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// The folded cycle-attribution ledger.
+    pub fn ledger(&self) -> &CycleLedger {
+        &self.ledger
+    }
+
+    /// The bounded event timeline.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Attach an additional sink; it sees every event emitted from now
+    /// on.
+    pub fn add_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.extra.push(sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_folds_costs_into_categories() {
+        let mut probe = Probe::new(16);
+        let key = TupleKey::new(1, 0);
+        probe.emit(0, Event::Spawn { pid: 1 });
+        probe.emit(10, Event::Compute { pid: 1, user: 7, custom: 2, soft: 1, hw_dispatches: 1, sw_dispatches: 1 });
+        probe.emit(10, Event::Fault { key, cost: 120 });
+        probe.emit(10, Event::BusTransfer { words: 100, cost: 164 });
+        probe.emit(10, Event::ConfigLoad { key });
+        probe.emit(10, Event::TlbProgram { key, soft: false, evicted: true, cost: 12 });
+        probe.emit(306, Event::Syscall { pid: 1, number: 0, cost: 40 });
+        probe.emit(306, Event::Idle { cycles: 50 });
+
+        let l = probe.ledger();
+        assert_eq!(l.user_compute, 7);
+        assert_eq!(l.custom_execute, 2);
+        assert_eq!(l.soft_dispatch, 1);
+        assert_eq!(l.fault_handling, 120);
+        assert_eq!(l.config_bus, 164);
+        assert_eq!(l.tlb_programming, 12);
+        assert_eq!(l.syscall, 40);
+        assert_eq!(l.idle, 50);
+        assert_eq!(l.total(), 7 + 2 + 1 + 120 + 164 + 12 + 40 + 50);
+
+        let s = probe.stats();
+        assert_eq!(s.custom_faults, 1);
+        assert_eq!(s.config_loads, 1);
+        assert_eq!(s.tlb_evictions, 1);
+        assert_eq!(s.config_words_moved, 100);
+        assert_eq!(s.syscalls, 1);
+
+        assert_eq!(probe.trace().len(), 8);
+    }
+
+    #[test]
+    fn extra_sinks_see_every_event() {
+        struct Counter(std::sync::mpsc::Sender<u64>);
+        impl EventSink for Counter {
+            fn on_event(&mut self, at: u64, _event: &Event) {
+                let _ = self.0.send(at);
+            }
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut probe = Probe::new(0);
+        probe.add_sink(Box::new(Counter(tx)));
+        probe.emit(5, Event::Spawn { pid: 1 });
+        probe.emit(9, Event::Exit { pid: 1, code: 0 });
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![5, 9]);
+    }
+
+    #[test]
+    fn event_json_is_one_object_per_event() {
+        let key = TupleKey::new(3, 1);
+        let j = Event::Fault { key, cost: 120 }.to_json(42);
+        assert_eq!(j, "{\"cycle\":42,\"kind\":\"fault\",\"pid\":3,\"cid\":1,\"cost\":120}");
+        let j = Event::ContextSwitch { from: None, to: 2, cost: 220 }.to_json(7);
+        assert!(j.contains("\"from\":null"));
+        assert!(CycleLedger::default().to_json().contains("\"total\":0"));
+    }
+}

@@ -1,7 +1,14 @@
 //! Kernel-level statistics gathered during a run.
 
+use crate::probe::{Event, EventSink};
+
 /// Counters describing how much management work the kernel performed —
 /// the quantities the paper's discussion (§5.1.3) reasons about.
+///
+/// The struct is a pure fold over the [`crate::probe`] event stream:
+/// every field maps to exactly one event variant, so replaying a
+/// recorded trace through a fresh `KernelStats` reproduces the
+/// kernel's own counters (an invariant the integration tests pin).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct KernelStats {
     /// Full context switches between distinct processes.
@@ -36,5 +43,28 @@ impl KernelStats {
     /// Bytes moved over the configuration bus.
     pub fn config_bytes_moved(&self) -> u64 {
         self.config_words_moved * 4
+    }
+}
+
+impl EventSink for KernelStats {
+    fn on_event(&mut self, _at: u64, event: &Event) {
+        match *event {
+            Event::ContextSwitch { .. } => self.context_switches += 1,
+            Event::TimerTick { .. } => self.timer_ticks += 1,
+            Event::Fault { .. } => self.custom_faults += 1,
+            Event::MappingRepair { .. } => self.mapping_faults += 1,
+            Event::ConfigLoad { .. } => self.config_loads += 1,
+            Event::Eviction { .. } => self.evictions += 1,
+            Event::SoftwareInstall { .. } => self.software_installs += 1,
+            Event::TlbProgram { evicted, .. } => self.tlb_evictions += u64::from(evicted),
+            Event::StateSwap { .. } => self.state_swaps += 1,
+            Event::BusTransfer { words, .. } => self.config_words_moved += words,
+            Event::Syscall { .. } => self.syscalls += 1,
+            Event::Kill { .. } => self.kills += 1,
+            Event::Spawn { .. }
+            | Event::Compute { .. }
+            | Event::Idle { .. }
+            | Event::Exit { .. } => {}
+        }
     }
 }

@@ -1,118 +1,35 @@
-//! Kernel event tracing.
+//! Bounded event timeline: a ring-buffer sink over the probe stream.
 //!
 //! When enabled ([`crate::kernel::KernelConfig::trace_capacity`] > 0),
-//! the kernel records a timeline of scheduling and CIS events — the raw
-//! material behind every aggregate in [`crate::stats::KernelStats`].
-//! Useful for debugging policies and for asserting ordering invariants
-//! in tests.
+//! the trace keeps the most recent `capacity` events emitted on the
+//! instrumentation bus ([`crate::probe`]). It is a pure fold over the
+//! same stream that feeds [`crate::stats::KernelStats`] and
+//! [`crate::probe::CycleLedger`]. Useful for debugging policies, for
+//! asserting ordering invariants in tests, and as the source of the
+//! `repro --trace` JSON-lines dump.
 
-use std::fmt;
+use std::collections::VecDeque;
 
-use proteus_rfu::TupleKey;
+pub use crate::probe::Event;
+use crate::probe::EventSink;
 
-use crate::process::Pid;
-
-/// One timeline entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Event {
-    /// A process was created.
-    Spawn {
-        /// New process.
-        pid: Pid,
-    },
-    /// The CPU switched from one process to another.
-    ContextSwitch {
-        /// Previously running process (`None` right after a terminate).
-        from: Option<Pid>,
-        /// Now-running process.
-        to: Pid,
-    },
-    /// The quantum expired with no other runnable process.
-    TimerTick {
-        /// The process that keeps running.
-        pid: Pid,
-    },
-    /// A custom-instruction fault was taken.
-    Fault {
-        /// The faulting tuple.
-        key: TupleKey,
-    },
-    /// The fault was a mapping fault: TLB re-programmed, no load.
-    MappingRepair {
-        /// The repaired tuple.
-        key: TupleKey,
-    },
-    /// A full configuration was loaded.
-    ConfigLoad {
-        /// The tuple now resident.
-        key: TupleKey,
-    },
-    /// A resident circuit was evicted to make room.
-    Eviction,
-    /// A shared configuration changed hands via a state-frame swap.
-    StateSwap {
-        /// The tuple now owning the shared PFU.
-        key: TupleKey,
-    },
-    /// The fault was resolved by mapping the software alternative.
-    SoftwareInstall {
-        /// The tuple now dispatching to software.
-        key: TupleKey,
-    },
-    /// A system call was serviced.
-    Syscall {
-        /// Calling process.
-        pid: Pid,
-        /// SWI number.
-        number: u32,
-    },
-    /// A process exited.
-    Exit {
-        /// The process.
-        pid: Pid,
-        /// Exit code.
-        code: u32,
-    },
-    /// A process was killed by the kernel.
-    Kill {
-        /// The process.
-        pid: Pid,
-    },
-}
-
-impl fmt::Display for Event {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Event::Spawn { pid } => write!(f, "spawn pid={pid}"),
-            Event::ContextSwitch { from: Some(p), to } => write!(f, "switch {p} -> {to}"),
-            Event::ContextSwitch { from: None, to } => write!(f, "dispatch -> {to}"),
-            Event::TimerTick { pid } => write!(f, "tick pid={pid}"),
-            Event::Fault { key } => write!(f, "fault ({}, {})", key.pid, key.cid),
-            Event::MappingRepair { key } => write!(f, "tlb-repair ({}, {})", key.pid, key.cid),
-            Event::ConfigLoad { key } => write!(f, "load ({}, {})", key.pid, key.cid),
-            Event::Eviction => write!(f, "evict"),
-            Event::StateSwap { key } => write!(f, "state-swap ({}, {})", key.pid, key.cid),
-            Event::SoftwareInstall { key } => write!(f, "soft-map ({}, {})", key.pid, key.cid),
-            Event::Syscall { pid, number } => write!(f, "swi pid={pid} #{number}"),
-            Event::Exit { pid, code } => write!(f, "exit pid={pid} code={code}"),
-            Event::Kill { pid } => write!(f, "kill pid={pid}"),
-        }
-    }
-}
-
-/// A bounded event timeline: `(cycle, event)` pairs in emission order.
-/// Recording stops silently at capacity (the counters in
-/// [`crate::stats::KernelStats`] remain complete).
-#[derive(Debug, Clone, Default)]
+/// A bounded event timeline of `(cycle, event)` pairs in emission
+/// order. The buffer is a ring: once `capacity` is reached the *oldest*
+/// event is dropped for each new one, so long runs with small
+/// capacities keep the interesting tail. [`Trace::dropped`] counts the
+/// discards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
-    events: Vec<(u64, Event)>,
+    events: VecDeque<(u64, Event)>,
     capacity: usize,
+    dropped: u64,
 }
 
 impl Trace {
-    /// A trace that keeps at most `capacity` events (0 disables).
+    /// A trace that keeps at most the latest `capacity` events
+    /// (0 disables recording entirely).
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { events: Vec::new(), capacity }
+        Self { events: VecDeque::new(), capacity, dropped: 0 }
     }
 
     /// Whether recording is active.
@@ -120,16 +37,41 @@ impl Trace {
         self.capacity > 0
     }
 
-    /// Record an event at `cycle`.
+    /// Record an event at `cycle`, evicting the oldest entry when full.
     pub fn record(&mut self, cycle: u64, event: Event) {
-        if self.events.len() < self.capacity {
-            self.events.push((cycle, event));
+        if self.capacity == 0 {
+            return;
         }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back((cycle, event));
     }
 
-    /// The recorded timeline.
-    pub fn events(&self) -> &[(u64, Event)] {
-        &self.events
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events discarded from the front of the ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate the retained timeline, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Event)> + '_ {
+        self.events.iter().copied()
+    }
+
+    /// The retained timeline as a contiguous vector (oldest first).
+    pub fn snapshot(&self) -> Vec<(u64, Event)> {
+        self.iter().collect()
     }
 
     /// Render as one line per event.
@@ -142,19 +84,29 @@ impl Trace {
     }
 }
 
+impl EventSink for Trace {
+    fn on_event(&mut self, at: u64, event: &Event) {
+        self.record(at, *event);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn capacity_bounds_recording() {
+    fn ring_keeps_latest_events_and_counts_drops() {
         let mut t = Trace::with_capacity(2);
         for i in 0..5 {
-            t.record(i, Event::TimerTick { pid: 1 });
+            t.record(i, Event::TimerTick { pid: 1, cost: 60 });
         }
-        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+        let cycles: Vec<u64> = t.iter().map(|(c, _)| c).collect();
+        assert_eq!(cycles, vec![3, 4], "latest events survive");
         assert!(t.enabled());
         assert!(!Trace::with_capacity(0).enabled());
+        assert_eq!(Trace::with_capacity(0).dropped(), 0);
     }
 
     #[test]

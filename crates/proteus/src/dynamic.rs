@@ -15,6 +15,7 @@ use rand::{Rng, SeedableRng};
 use porsche::cis::DispatchMode;
 use porsche::kernel::{KernelConfig, KernelError};
 use porsche::policy::PolicyKind;
+use porsche::probe::{CycleLedger, Event};
 use porsche::process::Pid;
 use porsche::stats::KernelStats;
 use proteus_apps::workload::{WorkloadConfig, WorkloadSpec};
@@ -60,6 +61,8 @@ pub struct DynamicLoad {
     pub sharing: bool,
     /// RNG seed for arrivals.
     pub seed: u64,
+    /// Timeline-event capacity (0 disables tracing).
+    pub trace_capacity: usize,
 }
 
 impl Default for DynamicLoad {
@@ -73,6 +76,7 @@ impl Default for DynamicLoad {
             mode: DispatchMode::HardwareOnly,
             sharing: false,
             seed: 2003,
+            trace_capacity: 0,
         }
     }
 }
@@ -88,6 +92,16 @@ pub struct DynamicResult {
     pub makespan: u64,
     /// Kernel statistics.
     pub stats: KernelStats,
+    /// Per-job `(pid, turnaround)` in arrival order.
+    pub turnarounds: Vec<(Pid, u64)>,
+    /// Where every simulated cycle (including inter-arrival idle time)
+    /// went.
+    pub ledger: CycleLedger,
+    /// Timeline events, oldest first (empty unless
+    /// [`DynamicLoad::trace_capacity`] was set).
+    pub trace: Vec<(u64, Event)>,
+    /// Total simulated cycles (== `ledger.total()`).
+    pub total_cycles: u64,
     /// Every job exited with its reference checksum.
     pub valid: bool,
 }
@@ -114,6 +128,7 @@ impl DynamicLoad {
                 policy: self.policy,
                 mode: self.mode,
                 share_circuits: self.sharing,
+                trace_capacity: self.trace_capacity,
                 ..KernelConfig::default()
             },
             rfu: RfuConfig::default(),
@@ -141,24 +156,28 @@ impl DynamicLoad {
         machine.run(cycle_limit)?;
         let report = machine.report();
 
-        let mut turnarounds = Vec::with_capacity(self.jobs);
+        let mut turnarounds: Vec<(Pid, u64)> = Vec::with_capacity(self.jobs);
         let mut valid = report.killed.is_empty();
         for (pid, arrival, checksum) in &arrivals {
             match report.exited.iter().find(|(p, _, _)| p == pid) {
                 Some((_, finish, code)) => {
                     valid &= code == checksum;
-                    turnarounds.push(finish.saturating_sub(*arrival));
+                    turnarounds.push((*pid, finish.saturating_sub(*arrival)));
                 }
                 None => valid = false,
             }
         }
-        let mean_turnaround =
-            turnarounds.iter().sum::<u64>() as f64 / turnarounds.len().max(1) as f64;
+        let mean_turnaround = turnarounds.iter().map(|(_, t)| t).sum::<u64>() as f64
+            / turnarounds.len().max(1) as f64;
         Ok(DynamicResult {
             mean_turnaround,
-            max_turnaround: turnarounds.iter().copied().max().unwrap_or(0),
+            max_turnaround: turnarounds.iter().map(|(_, t)| *t).max().unwrap_or(0),
             makespan: report.makespan,
             stats: report.stats,
+            ledger: report.ledger,
+            trace: machine.kernel().trace().snapshot(),
+            total_cycles: machine.cycles(),
+            turnarounds,
             valid,
         })
     }
@@ -204,6 +223,44 @@ mod tests {
             dense.mean_turnaround,
             sparse.mean_turnaround
         );
+    }
+
+    #[test]
+    fn turnaround_matches_event_stream_span() {
+        // Per-job turnaround must equal the spawn→exit span visible in
+        // the event timeline — the two are produced by independent code
+        // paths (arrival bookkeeping vs. probe emission).
+        let result = DynamicLoad {
+            jobs: 3,
+            mean_interarrival: 150_000,
+            job_size: (32, 2),
+            trace_capacity: 1 << 16,
+            ..DynamicLoad::default()
+        }
+        .run()
+        .expect("run");
+        assert!(result.valid, "{result:?}");
+        assert_eq!(result.turnarounds.len(), 3);
+        for &(pid, turnaround) in &result.turnarounds {
+            let spawn = result
+                .trace
+                .iter()
+                .find_map(|&(at, e)| match e {
+                    Event::Spawn { pid: p } if p == pid => Some(at),
+                    _ => None,
+                })
+                .expect("spawn event");
+            let exit = result
+                .trace
+                .iter()
+                .find_map(|&(at, e)| match e {
+                    Event::Exit { pid: p, .. } if p == pid => Some(at),
+                    _ => None,
+                })
+                .expect("exit event");
+            assert_eq!(turnaround, exit - spawn, "pid {pid:?}");
+        }
+        assert_eq!(result.ledger.total(), result.total_cycles);
     }
 
     #[test]

@@ -493,10 +493,8 @@ pub fn dynamic_load_plan(scale: &Scale) -> ExperimentPlan {
             plan.push_job(name, move || {
                 let result = load.run().unwrap_or_else(|e| panic!("{name} gap={gap}: {e}"));
                 assert!(result.valid, "{name} gap={gap}: checksum mismatch");
-                JobOutput {
-                    points: vec![(gap as f64, result.mean_turnaround)],
-                    sim_cycles: result.makespan,
-                }
+                JobOutput::point(gap as f64, result.mean_turnaround, result.makespan)
+                    .with_breakdown(gap as f64, result.total_cycles, result.ledger)
             });
         }
     }
@@ -560,6 +558,7 @@ pub fn ablation_long_instructions_plan() -> ExperimentPlan {
             JobOutput {
                 points: vec![(0.0, overshoot as f64), (1.0, report.makespan as f64)],
                 sim_cycles: report.makespan,
+                breakdown: vec![(0.0, machine.cycles(), report.ledger)],
             }
         });
     }
@@ -629,10 +628,14 @@ mod tests {
         // The core --jobs guarantee: identical SeriesSet (hence
         // byte-identical CSV) at any worker count.
         let scale = Scale { target_cycles: 200_000, max_instances: 2, seed: 7 };
-        let (serial, _) = fig2_plan(&scale).execute(1);
-        let (parallel, _) = fig2_plan(&scale).execute(4);
+        let (serial, m1) = fig2_plan(&scale).execute(1);
+        let (parallel, m4) = fig2_plan(&scale).execute(4);
         assert_eq!(serial, parallel);
         assert_eq!(serial.to_csv(), parallel.to_csv());
+        // The attribution table carries the same guarantee.
+        assert_eq!(m1.breakdown, m4.breakdown);
+        assert_eq!(m1.breakdown.to_csv(), m4.breakdown.to_csv());
+        assert_eq!(m1.breakdown.rows.len(), m1.jobs, "one row per scenario job");
     }
 
     #[test]

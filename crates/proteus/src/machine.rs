@@ -1,6 +1,7 @@
 //! The assembled ProteanARM workstation.
 
 use porsche::kernel::{Kernel, KernelConfig, KernelError, RunReport, SpawnSpec};
+use porsche::probe::{CycleLedger, EventSink};
 use porsche::process::Pid;
 use proteus_cpu::Cpu;
 use proteus_rfu::{Rfu, RfuConfig};
@@ -32,13 +33,16 @@ impl Machine {
         }
     }
 
-    /// Spawn a process.
+    /// Spawn a process. The spawn event is stamped with the machine's
+    /// current cycle, so dynamic-arrival workloads get faithful
+    /// spawn→exit spans in the trace.
     ///
     /// # Errors
     ///
     /// Propagates [`KernelError`] from the kernel.
     pub fn spawn(&mut self, spec: SpawnSpec) -> Result<Pid, KernelError> {
-        self.kernel.spawn(spec)
+        let at = self.cpu.cycles();
+        self.kernel.spawn_at(spec, at)
     }
 
     /// Run until every process exits.
@@ -69,7 +73,18 @@ impl Machine {
         let now = self.cpu.cycles();
         if cycle > now {
             self.cpu.add_cycles(cycle - now);
+            self.kernel.note_idle(now, cycle - now);
         }
+    }
+
+    /// The cycle-attribution ledger folded so far.
+    pub fn ledger(&self) -> &CycleLedger {
+        self.kernel.ledger()
+    }
+
+    /// Attach an extra observer to the machine's event stream.
+    pub fn add_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.kernel.add_sink(sink);
     }
 
     /// Snapshot the outcome so far.

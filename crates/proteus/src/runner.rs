@@ -31,16 +31,35 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use porsche::probe::CycleLedger;
+
 use crate::scenario::Scenario;
-use crate::series::{Series, SeriesSet};
+use crate::series::{BreakdownRow, BreakdownSet, Series, SeriesSet};
 
 /// What one job contributes to the figure.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct JobOutput {
     /// `(x, y)` points appended to the job's series, in order.
     pub points: Vec<(f64, f64)>,
     /// Simulated cycles this job advanced (for throughput accounting).
     pub sim_cycles: u64,
+    /// `(x, total_cycles, ledger)` cycle-attribution rows appended to the
+    /// plan's [`BreakdownSet`], in order.
+    pub breakdown: Vec<(f64, u64, CycleLedger)>,
+}
+
+impl JobOutput {
+    /// The common case: one `(x, y)` point, no breakdown.
+    pub fn point(x: f64, y: f64, sim_cycles: u64) -> Self {
+        Self { points: vec![(x, y)], sim_cycles, breakdown: Vec::new() }
+    }
+
+    /// Attach a cycle-attribution row for `x`.
+    #[must_use]
+    pub fn with_breakdown(mut self, x: f64, total: u64, ledger: CycleLedger) -> Self {
+        self.breakdown.push((x, total, ledger));
+        self
+    }
 }
 
 /// One schedulable unit of work: a single simulation producing points
@@ -100,6 +119,8 @@ pub struct PlanMetrics {
     pub job_wall: Duration,
     /// Total simulated cycles across all jobs.
     pub sim_cycles: u64,
+    /// Cycle-attribution rows contributed by the jobs, in plan order.
+    pub breakdown: BreakdownSet,
 }
 
 impl PlanMetrics {
@@ -146,7 +167,11 @@ impl ExperimentPlan {
         self.push_job(series, move || {
             let result = scenario.run().unwrap_or_else(|e| panic!("{label} x={x}: {e}"));
             assert!(result.all_valid(), "{label} x={x}: checksum mismatch");
-            JobOutput { points: vec![(x, result.makespan as f64)], sim_cycles: result.makespan }
+            JobOutput::point(x, result.makespan as f64, result.makespan).with_breakdown(
+                x,
+                result.total_cycles,
+                result.ledger,
+            )
         });
     }
 
@@ -230,6 +255,7 @@ impl ExperimentPlan {
 
         // Deterministic assembly: plan order, first-mention series order.
         let mut set = SeriesSet::new(figure.clone());
+        let mut breakdown = BreakdownSet::new(figure.clone());
         let mut job_wall = Duration::ZERO;
         let mut sim_cycles = 0u64;
         for (i, name) in names.iter().enumerate() {
@@ -240,6 +266,9 @@ impl ExperimentPlan {
                 .expect("every job completed");
             job_wall += dur;
             sim_cycles += output.sim_cycles;
+            for (x, total, ledger) in output.breakdown {
+                breakdown.rows.push(BreakdownRow { series: name.clone(), x, total, ledger });
+            }
             let series = match set.series.iter_mut().position(|s| s.name == *name) {
                 Some(idx) => &mut set.series[idx],
                 None => {
@@ -262,6 +291,7 @@ impl ExperimentPlan {
             wall: t0.elapsed(),
             job_wall,
             sim_cycles,
+            breakdown,
         };
         (set, metrics)
     }
@@ -282,13 +312,11 @@ mod tests {
         // plan-order points.
         let mut plan = ExperimentPlan::new("toy");
         for n in 1..=3u32 {
-            plan.push_job("a", move || JobOutput {
-                points: vec![(n as f64, (10 * n) as f64)],
-                sim_cycles: u64::from(n),
+            plan.push_job("a", move || {
+                JobOutput::point(n as f64, (10 * n) as f64, u64::from(n))
             });
-            plan.push_job("b", move || JobOutput {
-                points: vec![(n as f64, (20 * n) as f64)],
-                sim_cycles: 2 * u64::from(n),
+            plan.push_job("b", move || {
+                JobOutput::point(n as f64, (20 * n) as f64, 2 * u64::from(n))
             });
         }
         plan
@@ -351,6 +379,7 @@ mod tests {
             wall: Duration::from_secs(2),
             job_wall: Duration::from_secs(2),
             sim_cycles: 10_000_000,
+            breakdown: BreakdownSet::new("f"),
         };
         let thr = m.sim_cycles_per_host_second();
         assert!((thr - 5_000_000.0).abs() < 1.0, "{thr}");
@@ -378,5 +407,12 @@ mod tests {
         assert!(set.series[0].points[0].y > 0.0);
         assert!(metrics.sim_cycles > 0);
         assert!(metrics.sim_cycles_per_host_second() > 0.0);
+        // Every scenario job contributes one attribution row, and the
+        // ledger conserves the run's total cycles.
+        assert_eq!(metrics.breakdown.rows.len(), 1);
+        let row = &metrics.breakdown.rows[0];
+        assert_eq!(row.series, "alpha");
+        assert_eq!(row.ledger.total(), row.total);
+        assert!(row.total > 0);
     }
 }

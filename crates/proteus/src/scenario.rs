@@ -5,6 +5,7 @@ use porsche::cis::DispatchMode;
 use porsche::costs::CostModel;
 use porsche::kernel::{KernelConfig, KernelError};
 use porsche::policy::PolicyKind;
+use porsche::probe::{CycleLedger, Event};
 use porsche::stats::KernelStats;
 use proteus_apps::workload::{WorkloadConfig, WorkloadSpec};
 use proteus_apps::AppKind;
@@ -32,6 +33,7 @@ pub struct Scenario {
     costs: CostModel,
     share_circuits: bool,
     cycle_limit: u64,
+    trace_capacity: usize,
 }
 
 impl Scenario {
@@ -53,6 +55,7 @@ impl Scenario {
             costs: CostModel::default(),
             share_circuits: false,
             cycle_limit: 500_000_000_000,
+            trace_capacity: 0,
         }
     }
 
@@ -133,6 +136,13 @@ impl Scenario {
         self
     }
 
+    /// Keep the latest `capacity` timeline events in the result (0, the
+    /// default, disables tracing).
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
     /// Build the machine, spawn the instances and run to completion.
     ///
     /// # Errors
@@ -152,6 +162,7 @@ impl Scenario {
                 mode: self.mode,
                 default_mem: 1 << 20,
                 share_circuits: self.share_circuits,
+                trace_capacity: self.trace_capacity,
                 ..KernelConfig::default()
             },
             rfu: RfuConfig { pfus: self.pfus, tlb_capacity: self.tlb_capacity, ..RfuConfig::default() },
@@ -169,6 +180,9 @@ impl Scenario {
             makespan: report.makespan,
             finishes,
             stats: report.stats,
+            ledger: report.ledger,
+            trace: machine.kernel().trace().snapshot(),
+            total_cycles: machine.cycles(),
             valid,
             expected_checksum: expected,
         })
@@ -193,6 +207,14 @@ pub struct ScenarioResult {
     pub finishes: Vec<u64>,
     /// Kernel management statistics.
     pub stats: KernelStats,
+    /// Where every simulated cycle went (folded from the event stream).
+    pub ledger: CycleLedger,
+    /// Timeline events, oldest first (empty unless
+    /// [`Scenario::trace_capacity`] was set).
+    pub trace: Vec<(u64, Event)>,
+    /// Total simulated cycles, including post-makespan idle time; equals
+    /// [`CycleLedger::total`] of `ledger`.
+    pub total_cycles: u64,
     /// All processes exited with the reference checksum.
     pub valid: bool,
     /// The reference checksum.

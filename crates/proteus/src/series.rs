@@ -4,6 +4,8 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
+use porsche::probe::CycleLedger;
+
 /// One data point of a series.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
@@ -117,9 +119,91 @@ impl SeriesSet {
     }
 }
 
+/// One job's cycle attribution: which series/x it belongs to, the total
+/// simulated cycles of that run, and the per-category ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakdownRow {
+    /// Legend label of the series the job contributed to.
+    pub series: String,
+    /// X value of the corresponding [`Point`].
+    pub x: f64,
+    /// Total simulated cycles of the run (== `ledger.total()`).
+    pub total: u64,
+    /// Per-category attribution.
+    pub ledger: CycleLedger,
+}
+
+/// Per-figure cycle-attribution table, assembled in plan order so it is
+/// byte-identical at any worker count (same guarantee as [`SeriesSet`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakdownSet {
+    /// Figure identifier, e.g. `"fig2"`.
+    pub figure: String,
+    /// Rows in plan order.
+    pub rows: Vec<BreakdownRow>,
+}
+
+impl BreakdownSet {
+    /// An empty table for `figure`.
+    pub fn new(figure: impl Into<String>) -> Self {
+        Self { figure: figure.into(), rows: Vec::new() }
+    }
+
+    /// Sum of every row's ledger (for aggregate reporting).
+    pub fn aggregate(&self) -> CycleLedger {
+        let mut total = CycleLedger::default();
+        for row in &self.rows {
+            total.absorb(&row.ledger);
+        }
+        total
+    }
+
+    /// Long-format CSV: `figure,series,x,total,<one column per ledger
+    /// category>` in [`CycleLedger::CATEGORIES`] order.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("figure,series,x,total");
+        for cat in CycleLedger::CATEGORIES {
+            let _ = write!(out, ",{cat}");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            let _ = write!(out, "{},{},{},{}", self.figure, row.series, row.x, row.total);
+            for v in row.ledger.values() {
+                let _ = write!(out, ",{v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn breakdown_csv_has_one_column_per_category() {
+        let mut set = BreakdownSet::new("figX");
+        let ledger = CycleLedger { user_compute: 70, idle: 30, ..CycleLedger::default() };
+        set.rows.push(BreakdownRow { series: "a".into(), x: 2.0, total: 100, ledger });
+        let csv = set.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().expect("header");
+        assert_eq!(header.split(',').count(), 4 + CycleLedger::CATEGORIES.len());
+        assert!(header.starts_with("figure,series,x,total,user_compute,"));
+        let row = lines.next().expect("row");
+        assert!(row.starts_with("figX,a,2,100,70,"));
+        assert_eq!(set.aggregate().total(), 100);
+    }
 
     #[test]
     fn csv_is_long_format() {

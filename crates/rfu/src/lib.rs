@@ -47,4 +47,4 @@ pub use circuit::{CircuitClock, CircuitState, NetlistCircuit, PfuCircuit};
 pub use counters::UsageCounters;
 pub use pfu::{PfuArray, PfuIndex};
 pub use regfile::RegFile;
-pub use unit::{FaultInfo, Rfu, RfuConfig};
+pub use unit::{DispatchCounters, FaultInfo, Rfu, RfuConfig};

@@ -38,6 +38,7 @@ struct Slot {
 pub struct PfuArray {
     slots: Vec<Slot>,
     counters: UsageCounters,
+    busy_cycles: u64,
 }
 
 impl PfuArray {
@@ -51,6 +52,7 @@ impl PfuArray {
         Self {
             slots: (0..count).map(|_| Slot { circuit: None, status: true }).collect(),
             counters: UsageCounters::new(count),
+            busy_cycles: 0,
         }
     }
 
@@ -131,11 +133,20 @@ impl PfuArray {
             slot.status = out.done;
             used += 1;
             if out.done {
+                self.busy_cycles += used;
                 self.counters.record_completion(pfu);
                 return RunOutcome::Done { value: out.result, cycles: used };
             }
         }
+        self.busy_cycles += used;
         RunOutcome::OutOfBudget { cycles: used }
+    }
+
+    /// Total cycles any PFU in the array has spent clocking circuits —
+    /// the hardware-side mirror of the ledger's custom-execute
+    /// category.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
     }
 
     /// The completion-counter bank (§4.5).

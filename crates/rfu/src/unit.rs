@@ -58,6 +58,20 @@ pub enum FaultInfo {
     },
 }
 
+/// Dispatch-path counters accumulated by the unit and drained by the
+/// OS (one probe `Compute` event per run span): how custom issues were
+/// routed through Figure 1's three-stage dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DispatchCounters {
+    /// Issues resolved by TLB1 to a loaded PFU (completed or
+    /// interrupted in hardware).
+    pub hw_dispatches: u64,
+    /// Issues resolved by TLB2 to a software handler.
+    pub sw_dispatches: u64,
+    /// Issues that faulted to the operating system.
+    pub faults: u64,
+}
+
 /// The reconfigurable function unit.
 #[derive(Debug)]
 pub struct Rfu {
@@ -68,6 +82,7 @@ pub struct Rfu {
     regs: RegFile,
     operand: OperandBlock,
     last_fault: Option<FaultInfo>,
+    dispatch: DispatchCounters,
 }
 
 impl Rfu {
@@ -80,6 +95,7 @@ impl Rfu {
             regs: RegFile::new(),
             operand: OperandBlock::default(),
             last_fault: None,
+            dispatch: DispatchCounters::default(),
             config,
         }
     }
@@ -144,6 +160,16 @@ impl Rfu {
     pub fn take_fault(&mut self) -> Option<FaultInfo> {
         self.last_fault.take()
     }
+
+    /// The dispatch counters accumulated since the last drain.
+    pub fn dispatch_counters(&self) -> DispatchCounters {
+        self.dispatch
+    }
+
+    /// Drain the dispatch counters (the OS reads them per run span).
+    pub fn take_dispatch_counters(&mut self) -> DispatchCounters {
+        std::mem::take(&mut self.dispatch)
+    }
 }
 
 impl Coprocessor for Rfu {
@@ -163,6 +189,7 @@ impl Coprocessor for Rfu {
             let pfu = pfu_raw as PfuIndex;
             if !self.pfus.is_loaded(pfu) {
                 self.last_fault = Some(FaultInfo::EmptyPfu { key, pfu });
+                self.dispatch.faults += 1;
                 return CoprocResult::Fault;
             }
             let capped = if self.config.interruptible {
@@ -171,7 +198,10 @@ impl Coprocessor for Rfu {
                 self.config.max_instruction_cycles
             };
             return match self.pfus.run(pfu, op_a, op_b, capped) {
-                RunOutcome::Done { value, cycles } => CoprocResult::Done { value, cycles },
+                RunOutcome::Done { value, cycles } => {
+                    self.dispatch.hw_dispatches += 1;
+                    CoprocResult::Done { value, cycles }
+                }
                 RunOutcome::OutOfBudget { cycles } => {
                     if cycles >= self.config.max_instruction_cycles
                         && (budget > capped || !self.config.interruptible)
@@ -179,8 +209,10 @@ impl Coprocessor for Rfu {
                         // The circuit had all the time the hardware
                         // allows and still did not finish: runaway.
                         self.last_fault = Some(FaultInfo::Runaway { key, pfu });
+                        self.dispatch.faults += 1;
                         CoprocResult::Fault
                     } else {
+                        self.dispatch.hw_dispatches += 1;
                         CoprocResult::Interrupted { cycles }
                     }
                 }
@@ -189,10 +221,12 @@ impl Coprocessor for Rfu {
         // Figure 1, stage 2: TLB2 -> software alternative.
         if let Some(target) = self.tlb_sw.lookup(key) {
             self.operand.latch(op_a, op_b, rd, ret_addr);
+            self.dispatch.sw_dispatches += 1;
             return CoprocResult::SoftwareDispatch { target, cycles: 1 };
         }
         // Figure 1, stage 3: fault to the OS.
         self.last_fault = Some(FaultInfo::Miss { key });
+        self.dispatch.faults += 1;
         CoprocResult::Fault
     }
 

@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "== build =="
 cargo build --release --workspace
 
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== test =="
 cargo test -q --workspace
 
@@ -20,6 +23,7 @@ cargo run --release -p proteus-bench --bin repro -- \
 cargo run --release -p proteus-bench --bin repro -- \
     --quick --jobs 2 --out "$parallel_dir" fig2 >/dev/null
 diff "$serial_dir/fig2.csv" "$parallel_dir/fig2.csv"
+diff "$serial_dir/breakdown_fig2.csv" "$parallel_dir/breakdown_fig2.csv"
 for f in "$serial_dir/summary.json" "$parallel_dir/summary.json"; do
     test -s "$f" || { echo "missing $f" >&2; exit 1; }
 done
