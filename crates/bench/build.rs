@@ -1,0 +1,18 @@
+//! Capture the compiler version at build time so benchmark records and
+//! `summary.json` can state what produced the binary (throughput numbers
+//! are only comparable across PRs with the toolchain pinned down).
+
+use std::process::Command;
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".into());
+    let version = Command::new(&rustc)
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+    println!("cargo:rustc-env=PROTEUS_RUSTC_VERSION={version}");
+}

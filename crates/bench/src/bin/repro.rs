@@ -122,6 +122,18 @@ fn metrics_json(m: &PlanMetrics, indent: &str) -> String {
     )
 }
 
+/// Host metadata as a JSON object: the context that makes throughput
+/// numbers comparable across machines and PRs.
+fn host_json(jobs: usize) -> String {
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
+    format!(
+        "{{\"rustc\": \"{}\", \"os\": \"{}\", \"arch\": \"{}\", \"logical_cpus\": {cpus}, \"jobs\": {jobs}}}",
+        json_escape(env!("PROTEUS_RUSTC_VERSION")),
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+    )
+}
+
 /// Hand-rolled `summary.json` (the workspace carries no JSON
 /// dependency; the schema is small and fixed).
 fn summary_json(
@@ -151,6 +163,7 @@ fn summary_json(
         "{{\n\
          \x20 \"workers\": {workers},\n\
          \x20 \"quick\": {quick},\n\
+         \x20 \"host\": {},\n\
          \x20 \"experiments\": [\n{}\n  ],\n\
          \x20 \"cycle_breakdown\": {{\n{}{}\
          \x20   \"aggregate\": {}\n\
@@ -163,6 +176,7 @@ fn summary_json(
          \x20   \"sim_cycles_per_host_second\": {throughput:.1}\n\
          \x20 }}\n\
          }}\n",
+        host_json(workers),
         per_figure.join(",\n"),
         per_figure_breakdown.join(",\n"),
         if per_figure_breakdown.is_empty() { "" } else { ",\n" },
@@ -170,11 +184,146 @@ fn summary_json(
     )
 }
 
+/// Extract the raw token following `"key":` in one of our own
+/// hand-rolled JSON documents (no nesting-aware parsing needed: every
+/// key we look up maps to a scalar on the same line).
+fn json_field<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = doc.find(&pat)? + pat.len();
+    let rest = doc[start..].trim_start();
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+/// The figure the pinned benchmark runs: fig3 is the most
+/// interpreter-bound experiment (≈ 90 % of its cycles are interpreted
+/// instructions), so it tracks hot-loop throughput most directly.
+const BENCH_FIGURE: &str = "fig3";
+/// Benchmarks always run on one worker so records measure single-thread
+/// interpreter throughput, not host parallelism.
+const BENCH_JOBS: usize = 1;
+
+/// A prior benchmark record: `BENCH_<n>.json` parsed just enough to
+/// compare against.
+struct PriorBench {
+    file: String,
+    number: u32,
+    figure: String,
+    quick: bool,
+    jobs: usize,
+    throughput: f64,
+}
+
+/// Scan `outdir` for `BENCH_<n>.json` records, newest (highest `n`)
+/// first.
+fn prior_benches(outdir: &Path) -> Vec<PriorBench> {
+    let mut found: Vec<PriorBench> = Vec::new();
+    let Ok(entries) = std::fs::read_dir(outdir) else {
+        return found;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(number) =
+            name.strip_prefix("BENCH_").and_then(|s| s.strip_suffix(".json")).and_then(|s| s.parse().ok())
+        else {
+            continue;
+        };
+        let Ok(doc) = std::fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        let figure = json_field(&doc, "figure").map(|v| v.trim_matches('"').to_string());
+        let quick = json_field(&doc, "quick").map(|v| v == "true");
+        let jobs = json_field(&doc, "jobs").and_then(|v| v.parse().ok());
+        let throughput =
+            json_field(&doc, "sim_cycles_per_host_second").and_then(|v| v.parse().ok());
+        if let (Some(figure), Some(quick), Some(jobs), Some(throughput)) =
+            (figure, quick, jobs, throughput)
+        {
+            found.push(PriorBench { file: name, number, figure, quick, jobs, throughput });
+        }
+    }
+    found.sort_by_key(|b| std::cmp::Reverse(b.number));
+    found
+}
+
+/// `repro --bench`: run the pinned benchmark subset on one worker,
+/// append a numbered `BENCH_<n>.json` record, and compare against the
+/// latest comparable record (same figure, scale and worker count). The
+/// figure CSVs are *not* rewritten — bench mode measures, it does not
+/// regenerate results.
+fn run_bench(quick: bool, outdir: &Path) {
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let plan = plan_for(BENCH_FIGURE, &scale).expect("registry covers the bench figure");
+    println!(
+        "bench: {BENCH_FIGURE} at --jobs {BENCH_JOBS}{} ...",
+        if quick { " (quick scale)" } else { "" }
+    );
+    let (_, m) = plan.execute(BENCH_JOBS);
+    let throughput = m.sim_cycles_per_host_second();
+    println!(
+        "bench: {} jobs, {} sim cycles in {:.2}s -> {:.3e} sim cycles/s",
+        m.jobs,
+        m.sim_cycles,
+        m.wall.as_secs_f64(),
+        throughput,
+    );
+
+    let prior = prior_benches(outdir);
+    let number = prior.first().map_or(0, |b| b.number + 1);
+    let baseline = prior
+        .iter()
+        .find(|b| b.figure == BENCH_FIGURE && b.quick == quick && b.jobs == BENCH_JOBS);
+    let baseline_json = match baseline {
+        Some(b) => {
+            let speedup = if b.throughput > 0.0 { throughput / b.throughput } else { 0.0 };
+            let regression = speedup < 0.8;
+            println!(
+                "bench: vs {} ({:.3e} sim cycles/s): {speedup:.2}x{}",
+                b.file,
+                b.throughput,
+                if regression { "  ** REGRESSION > 20% **" } else { "" },
+            );
+            format!(
+                "{{\n    \"file\": \"{}\",\n    \"sim_cycles_per_host_second\": {:.1},\n    \
+                 \"speedup\": {speedup:.4},\n    \"regression\": {regression}\n  }}",
+                json_escape(&b.file),
+                b.throughput,
+            )
+        }
+        None => {
+            println!("bench: no comparable baseline record in {}", outdir.display());
+            "null".to_string()
+        }
+    };
+    let record = format!(
+        "{{\n\
+         \x20 \"bench\": {number},\n\
+         \x20 \"figure\": \"{BENCH_FIGURE}\",\n\
+         \x20 \"quick\": {quick},\n\
+         \x20 \"jobs\": {BENCH_JOBS},\n\
+         \x20 \"sim_cycles\": {},\n\
+         \x20 \"wall_seconds\": {:.6},\n\
+         \x20 \"sim_cycles_per_host_second\": {throughput:.1},\n\
+         \x20 \"host\": {},\n\
+         \x20 \"baseline\": {baseline_json}\n\
+         }}\n",
+        m.sim_cycles,
+        m.wall.as_secs_f64(),
+        host_json(BENCH_JOBS),
+    );
+    let path = outdir.join(format!("BENCH_{number}.json"));
+    match std::fs::write(&path, &record) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--quick] [--jobs N] [--out DIR] [--trace SCENARIO] [experiment...|all]\n\
+        "usage: repro [--quick] [--jobs N] [--out DIR] [--trace SCENARIO] [--bench] [experiment...|all]\n\
          experiments: {}\n\
-         trace scenarios: alpha echo twofish",
+         trace scenarios: alpha echo twofish\n\
+         --bench: run the pinned perf benchmark ({BENCH_FIGURE}, 1 worker) and append results/BENCH_<n>.json",
         EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
@@ -183,6 +332,7 @@ fn usage() -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut bench = false;
     let mut jobs = default_workers();
     let mut outdir = String::from("results");
     let mut traces: Vec<AppKind> = Vec::new();
@@ -191,6 +341,7 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--bench" => bench = true,
             "--trace" => {
                 let app = match it.next().as_deref() {
                     Some("alpha") => AppKind::Alpha,
@@ -227,6 +378,18 @@ fn main() {
             }
             name => wanted.push(name.to_string()),
         }
+    }
+    if bench {
+        if !wanted.is_empty() || !traces.is_empty() {
+            eprintln!("--bench runs the pinned subset only; drop experiment/trace arguments");
+            usage();
+        }
+        let outdir = Path::new(&outdir);
+        if let Err(e) = std::fs::create_dir_all(outdir) {
+            eprintln!("could not create {}: {e}", outdir.display());
+        }
+        run_bench(quick, outdir);
+        return;
     }
     // `--trace` alone dumps timelines without rerunning every figure;
     // with explicit experiment names it does both.
@@ -272,7 +435,10 @@ fn main() {
     let total_wall = t0.elapsed().as_secs_f64();
 
     if !metrics.is_empty() || traces.is_empty() {
-        let summary = summary_json(&metrics, jobs, quick, total_wall);
+        // Report the effective worker count (the runner clamps to each
+        // plan's job count), not the raw `--jobs` request.
+        let effective_workers = metrics.iter().map(|m| m.workers).max().unwrap_or(1);
+        let summary = summary_json(&metrics, effective_workers, quick, total_wall);
         let summary_path = outdir.join("summary.json");
         match std::fs::write(&summary_path, &summary) {
             Ok(()) => println!("wrote {}", summary_path.display()),

@@ -1,0 +1,49 @@
+//! Interpreter throughput probe: times synthetic instruction mixes
+//! through the real `Cpu::run` loop and reports host-nanoseconds per
+//! simulated cycle. Complements the tracked `repro --bench` harness
+//! when attributing interpreter-level regressions — each mix isolates
+//! one corner of the hot path (ALU, flags+branch, memory, cond-fail).
+//!
+//! Run with: `cargo run --release -p proteus-cpu --example interp_perf`
+
+use proteus_cpu::{Cpu, Memory, NullCoprocessor};
+use proteus_isa::assemble;
+use std::time::Instant;
+
+fn time_program(name: &str, src: &str, until: u64) {
+    let p = assemble(src).unwrap();
+    let mut mem = Memory::new(64 * 1024);
+    mem.load_program(&p).unwrap();
+    let mut cpu = Cpu::new();
+    cpu.set_reg(13, 60 * 1024);
+    let t = Instant::now();
+    let _stop = cpu.run(&mut mem, &mut NullCoprocessor, until);
+    let dt = t.elapsed().as_secs_f64();
+    println!(
+        "{name:24} {:>12} cycles in {dt:>8.4}s = {:>6.2} ns/cycle, {:.3e} c/s",
+        cpu.cycles(),
+        dt * 1e9 / cpu.cycles() as f64,
+        cpu.cycles() as f64 / dt
+    );
+}
+
+fn main() {
+    let n: u64 = 100_000_000;
+    // Plain ALU chain: the S-clear data-processing fast lane.
+    time_program(
+        "dp_loop",
+        "loop: add r2, r2, r0\n add r2, r2, r0\n add r2, r2, r0\n add r2, r2, r0\n \
+         add r2, r2, r0\n add r2, r2, r0\n subs r1, r1, #1\n b loop\n",
+        n,
+    );
+    // Flag-setting + conditional branch per pair.
+    time_program("flags_branch", "loop: subs r1, r1, #1\n bne loop\n b loop\n", n);
+    // Load/store traffic through the bounds-checked memory port.
+    time_program("ldr_str", "mov r0, #4096\nloop: ldr r2, [r0]\n str r2, [r0, #4]\n b loop\n", n);
+    // Condition-failed instructions: fetch+skip only.
+    time_program(
+        "cond_fail",
+        "cmp r0, #1\nloop: moveq r2, #1\n moveq r2, #2\n moveq r2, #3\n b loop\n",
+        n,
+    );
+}

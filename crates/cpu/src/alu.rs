@@ -32,6 +32,7 @@ impl Cpsr {
 /// An amount of zero passes the value through with the incoming carry
 /// (our shifts are immediate-amount only; ARM's special amount-0 LSR/ASR
 /// encodings for 32-bit shifts are not modelled).
+#[inline(always)]
 pub fn barrel_shift(value: u32, shift: Shift, carry_in: bool) -> (u32, bool) {
     let amount = u32::from(shift.amount);
     if amount == 0 {
@@ -46,6 +47,7 @@ pub fn barrel_shift(value: u32, shift: Shift, carry_in: bool) -> (u32, bool) {
 }
 
 /// Evaluate a flexible second operand: `(value, shifter_carry)`.
+#[inline(always)]
 pub fn eval_op2(op2: Operand2, reg_read: impl Fn(usize) -> u32, carry_in: bool) -> (u32, bool) {
     match op2 {
         Operand2::Imm { value, rot } => {
@@ -69,6 +71,7 @@ pub struct AluResult {
     pub writes_rd: bool,
 }
 
+#[inline(always)]
 fn add_flags(a: u32, b: u32, carry_in: bool) -> (u32, Cpsr) {
     let (s1, c1) = a.overflowing_add(b);
     let (sum, c2) = s1.overflowing_add(u32::from(carry_in));
@@ -77,11 +80,36 @@ fn add_flags(a: u32, b: u32, carry_in: bool) -> (u32, Cpsr) {
     (sum, Cpsr { n: sum >> 31 & 1 == 1, z: sum == 0, c, v })
 }
 
+#[inline(always)]
 fn logical_flags(value: u32, shifter_carry: bool, old: Cpsr) -> Cpsr {
     Cpsr { n: value >> 31 & 1 == 1, z: value == 0, c: shifter_carry, v: old.v }
 }
 
+/// Execute a data-processing opcode without computing flags — the fast
+/// lane for the common `S`-clear case. Returns `(value, writes_rd)`;
+/// matches [`exec_dp`]'s value exactly (tested against it).
+#[inline(always)]
+pub fn exec_dp_value(op: DpOp, rn: u32, op2: u32, carry_in: bool) -> (u32, bool) {
+    let borrow = u32::from(!carry_in);
+    match op {
+        DpOp::And => (rn & op2, true),
+        DpOp::Eor => (rn ^ op2, true),
+        DpOp::Orr => (rn | op2, true),
+        DpOp::Bic => (rn & !op2, true),
+        DpOp::Mov => (op2, true),
+        DpOp::Mvn => (!op2, true),
+        DpOp::Tst | DpOp::Teq | DpOp::Cmp | DpOp::Cmn => (0, false),
+        DpOp::Add => (rn.wrapping_add(op2), true),
+        DpOp::Adc => (rn.wrapping_add(op2).wrapping_add(u32::from(carry_in)), true),
+        DpOp::Sub => (rn.wrapping_sub(op2), true),
+        DpOp::Sbc => (rn.wrapping_sub(op2).wrapping_sub(borrow), true),
+        DpOp::Rsb => (op2.wrapping_sub(rn), true),
+        DpOp::Rsc => (op2.wrapping_sub(rn).wrapping_sub(borrow), true),
+    }
+}
+
 /// Execute a data-processing opcode.
+#[inline(always)]
 pub fn exec_dp(op: DpOp, rn: u32, op2: u32, shifter_carry: bool, cpsr: Cpsr) -> AluResult {
     let logical = |value: u32, writes: bool| AluResult {
         value,
@@ -160,6 +188,39 @@ mod tests {
         assert_eq!(barrel_shift(0x1, Shift { kind: ShiftKind::Ror, amount: 1 }, false), (0x8000_0000, true));
         // amount 0 passes carry through.
         assert_eq!(barrel_shift(7, Shift::NONE, true), (7, true));
+    }
+
+    #[test]
+    fn value_fast_path_matches_exec_dp() {
+        // The flag-free lane must agree with the full ALU on value and
+        // rd-writeback for every opcode, operand pattern, and carry-in.
+        let ops = [
+            DpOp::And, DpOp::Eor, DpOp::Orr, DpOp::Bic, DpOp::Mov, DpOp::Mvn,
+            DpOp::Tst, DpOp::Teq, DpOp::Cmp, DpOp::Cmn,
+            DpOp::Add, DpOp::Adc, DpOp::Sub, DpOp::Sbc, DpOp::Rsb, DpOp::Rsc,
+        ];
+        let samples = [0, 1, 5, 0x7FFF_FFFF, 0x8000_0000, 0xFFFF_FFFF, 0xDEAD_BEEF];
+        for op in ops {
+            for &rn in &samples {
+                for &op2 in &samples {
+                    for carry in [false, true] {
+                        let cpsr = Cpsr { c: carry, ..Cpsr::default() };
+                        let full = exec_dp(op, rn, op2, false, cpsr);
+                        let (value, writes_rd) = exec_dp_value(op, rn, op2, carry);
+                        assert_eq!(
+                            writes_rd, full.writes_rd,
+                            "{op:?} rn={rn:#x} op2={op2:#x} c={carry}"
+                        );
+                        if writes_rd {
+                            assert_eq!(
+                                value, full.value,
+                                "{op:?} rn={rn:#x} op2={op2:#x} c={carry}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -190,26 +190,39 @@ impl Cpu {
         std::mem::take(&mut self.mix)
     }
 
+    /// Charge `n` cycles of instruction cost to the core clock.
+    #[inline(always)]
+    fn charge(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
     /// Run until `until_cycle` is reached or an exception stops execution.
     ///
     /// The caller (kernel model) owns exception handling: on
     /// [`Stop::Swi`] the PC has advanced, on [`Stop::CustomFault`] /
     /// [`Stop::Undefined`] / [`Stop::MemFault`] it has not, and on
     /// [`Stop::Quantum`] execution may simply be resumed later.
+    ///
+    /// The quantum bound is the only per-instruction check: the kernel
+    /// computes the span's stop cycle once and passes it down, so the
+    /// loop compares a single counter against a constant.
     pub fn run(&mut self, mem: &mut Memory, coproc: &mut dyn Coprocessor, until_cycle: u64) -> Stop {
         loop {
             if self.cycles >= until_cycle {
                 return Stop::Quantum;
             }
-            let span_start = self.cycles;
-            let soft_before = self.soft_depth;
-            let stop = self.step(mem, coproc, until_cycle);
-            // Any instruction executed inside (or entering) a
-            // software-dispatch handler is soft-dispatch time, including
-            // the dispatching issue itself and the closing `retsd`.
-            if soft_before > 0 || self.soft_depth > soft_before {
+            // Any instruction executed inside a software-dispatch
+            // handler is soft-dispatch time (the dispatching issue
+            // itself is attributed by the dispatch arm in `step`, the
+            // closing `retsd` by this wrapper).
+            let stop = if self.soft_depth > 0 {
+                let span_start = self.cycles;
+                let stop = self.step(mem, coproc, until_cycle);
                 self.mix.soft_dispatch += self.cycles - span_start;
-            }
+                stop
+            } else {
+                self.step(mem, coproc, until_cycle)
+            };
             if let Some(stop) = stop {
                 return stop;
             }
@@ -218,6 +231,10 @@ impl Cpu {
 
     /// Execute one instruction. Returns `Some(stop)` if it raised an
     /// exception (see [`Cpu::run`] for PC conventions).
+    ///
+    /// Force-inlined into [`Cpu::run`]: the per-instruction call and the
+    /// `Option<Stop>` return shuffle are measurable at interpreter speed.
+    #[inline(always)]
     pub fn step(
         &mut self,
         mem: &mut Memory,
@@ -225,53 +242,61 @@ impl Cpu {
         until_cycle: u64,
     ) -> Option<Stop> {
         let pc = self.regs[15];
-        let instr = match mem.fetch_instr(pc) {
-            Ok((_, Some(i))) => i,
-            Ok((word, None)) => return Some(Stop::Undefined { word, pc }),
-            Err(err) => return Some(Stop::MemFault { err, pc }),
+        // Infallible icache-hit lane: dense program text hits here with
+        // no `Result`/`Option` juggling; first decodes, undefined words
+        // and fetch faults all take the cold fallback.
+        let (word, instr) = match mem.cached_instr(pc) {
+            Some(entry) => entry,
+            None => match mem.fetch_instr(pc) {
+                Ok((word, Some(i))) => (word, i),
+                Ok((word, None)) => return Some(Stop::Undefined { word, pc }),
+                Err(err) => return Some(Stop::MemFault { err, pc }),
+            },
         };
-        if !instr.cond().passes(self.cpsr.n, self.cpsr.z, self.cpsr.c, self.cpsr.v) {
-            self.cycles += cost::COND_FAIL;
+        // The condition field is bits 31..28 of every encoding, so the
+        // raw word answers "unconditional?" (almost always yes) with a
+        // shift — no re-extraction from the decoded form, no flag loads.
+        if word >> 28 != proteus_isa::Cond::Al as u32
+            && !instr.cond().passes(self.cpsr.n, self.cpsr.z, self.cpsr.c, self.cpsr.v)
+        {
+            self.charge(cost::COND_FAIL);
             self.regs[15] = pc.wrapping_add(4);
             return None;
         }
-        // Architectural reads of r15 see pc + 4.
-        let read = |regs: &[u32; 16], i: usize| -> u32 {
-            if i == 15 {
-                pc.wrapping_add(4)
-            } else {
-                regs[i]
-            }
-        };
         let mut next_pc = pc.wrapping_add(4);
         match instr {
             Instr::DataProc { op, s, rd, rn, op2, .. } => {
                 let (op2_val, shifter_carry) =
-                    alu::eval_op2(op2, |i| read(&self.regs, i), self.cpsr.c);
-                let rn_val = read(&self.regs, rn.index());
-                let r = alu::exec_dp(op, rn_val, op2_val, shifter_carry, self.cpsr);
-                self.cycles += cost::DP;
-                if s {
+                    alu::eval_op2(op2, |i| arch_read(&self.regs, pc, i), self.cpsr.c);
+                let rn_val = arch_read(&self.regs, pc, rn.index());
+                self.charge(cost::DP);
+                // `S`-clear is the common case; skip the flag circuitry.
+                let (value, writes_rd) = if s {
+                    let r = alu::exec_dp(op, rn_val, op2_val, shifter_carry, self.cpsr);
                     self.cpsr = r.flags;
-                }
-                if r.writes_rd {
+                    (r.value, r.writes_rd)
+                } else {
+                    alu::exec_dp_value(op, rn_val, op2_val, self.cpsr.c)
+                };
+                if writes_rd {
                     if rd == Reg::PC {
-                        next_pc = r.value;
-                        self.cycles += cost::PC_WRITE;
+                        next_pc = value;
+                        self.charge(cost::PC_WRITE);
                     } else {
-                        self.regs[rd.index()] = r.value;
+                        self.regs[rd.index()] = value;
                     }
                 }
             }
             Instr::Mul { s, rd, rm, rs, acc, .. } => {
-                let mut v = read(&self.regs, rm.index()).wrapping_mul(read(&self.regs, rs.index()));
-                self.cycles += match acc {
+                let mut v = arch_read(&self.regs, pc, rm.index())
+                    .wrapping_mul(arch_read(&self.regs, pc, rs.index()));
+                self.charge(match acc {
                     Some(rn) => {
-                        v = v.wrapping_add(read(&self.regs, rn.index()));
+                        v = v.wrapping_add(arch_read(&self.regs, pc, rn.index()));
                         cost::MLA
                     }
                     None => cost::MUL,
-                };
+                });
                 self.regs[rd.index()] = v;
                 if s {
                     self.cpsr.n = v >> 31 & 1 == 1;
@@ -279,18 +304,18 @@ impl Cpu {
                 }
             }
             Instr::Mem { op, byte, rd, rn, offset, up, pre, writeback, .. } => {
-                let base = read(&self.regs, rn.index());
+                let base = arch_read(&self.regs, pc, rn.index());
                 let off = match offset {
                     proteus_isa::instr::MemOffset::Imm(i) => u32::from(i),
                     proteus_isa::instr::MemOffset::Reg(rm, sh) => {
-                        alu::barrel_shift(read(&self.regs, rm.index()), sh, self.cpsr.c).0
+                        alu::barrel_shift(arch_read(&self.regs, pc, rm.index()), sh, self.cpsr.c).0
                     }
                 };
                 let offsetted = if up { base.wrapping_add(off) } else { base.wrapping_sub(off) };
                 let addr = if pre { offsetted } else { base };
                 let result = match op {
                     MemOp::Ldr => {
-                        self.cycles += cost::LDR;
+                        self.charge(cost::LDR);
                         let r = if byte {
                             mem.read_byte(addr).map(u32::from)
                         } else {
@@ -302,8 +327,8 @@ impl Cpu {
                         }
                     }
                     MemOp::Str => {
-                        self.cycles += cost::STR;
-                        let v = read(&self.regs, rd.index());
+                        self.charge(cost::STR);
+                        let v = arch_read(&self.regs, pc, rd.index());
                         let r = if byte {
                             mem.write_byte(addr, (v & 0xFF) as u8)
                         } else {
@@ -321,7 +346,7 @@ impl Cpu {
                 if let Some(v) = result {
                     if rd == Reg::PC {
                         next_pc = v;
-                        self.cycles += cost::PC_WRITE;
+                        self.charge(cost::PC_WRITE);
                     } else {
                         self.regs[rd.index()] = v;
                     }
@@ -329,7 +354,7 @@ impl Cpu {
             }
             Instr::Block { op, rn, regs, before, up, writeback, .. } => {
                 let count = regs.count_ones();
-                let base = read(&self.regs, rn.index());
+                let base = arch_read(&self.regs, pc, rn.index());
                 let span = count * 4;
                 // Lowest register always occupies the lowest address.
                 let lowest = if up { base } else { base.wrapping_sub(span) };
@@ -358,7 +383,7 @@ impl Cpu {
                             Err(err) => return Some(Stop::MemFault { err, pc }),
                         },
                         BlockOp::Stm => {
-                            let v = read(&self.regs, i as usize);
+                            let v = arch_read(&self.regs, pc, i as usize);
                             if let Err(err) = mem.write_word(addr, v) {
                                 return Some(Stop::MemFault { err, pc });
                             }
@@ -366,16 +391,16 @@ impl Cpu {
                     }
                     addr = addr.wrapping_add(4);
                 }
-                self.cycles += match op {
+                self.charge(match op {
                     BlockOp::Ldm => cost::LDM_BASE + u64::from(count),
                     BlockOp::Stm => cost::STM_BASE + u64::from(count),
-                };
+                });
                 if writeback {
                     self.regs[rn.index()] = final_base;
                 }
                 if let Some(v) = loaded_pc {
                     next_pc = v;
-                    self.cycles += cost::PC_WRITE;
+                    self.charge(cost::PC_WRITE);
                 }
             }
             Instr::Branch { link, offset, .. } => {
@@ -383,17 +408,17 @@ impl Cpu {
                     self.regs[14] = pc.wrapping_add(4);
                 }
                 next_pc = pc.wrapping_add(4).wrapping_add((offset as u32).wrapping_mul(4));
-                self.cycles += cost::BRANCH_TAKEN;
+                self.charge(cost::BRANCH_TAKEN);
             }
             Instr::Swi { imm, .. } => {
-                self.cycles += cost::SWI;
+                self.charge(cost::SWI);
                 self.regs[15] = next_pc;
                 return Some(Stop::Swi { imm });
             }
             Instr::Pfu { cid, rd, rn, rm, .. } => {
-                self.cycles += cost::PFU_ISSUE;
-                let op_a = read(&self.regs, rn.index());
-                let op_b = read(&self.regs, rm.index());
+                self.charge(cost::PFU_ISSUE);
+                let op_a = arch_read(&self.regs, pc, rn.index());
+                let op_b = arch_read(&self.regs, pc, rm.index());
                 let budget = until_cycle.saturating_sub(self.cycles);
                 // PID register: workstation-class processors hold the
                 // current PID (§4.2); we model it in coprocessor register
@@ -401,14 +426,14 @@ impl Cpu {
                 let pid = coproc.read_reg(15);
                 match coproc.exec_custom(pid, cid, op_a, op_b, rd.index() as u8, next_pc, budget) {
                     CoprocResult::Done { value, cycles } => {
-                        self.cycles += cycles;
+                        self.charge(cycles);
                         if self.soft_depth == 0 {
                             self.mix.custom += cycles;
                         }
                         self.regs[rd.index()] = value;
                     }
                     CoprocResult::Interrupted { cycles } => {
-                        self.cycles += cycles;
+                        self.charge(cycles);
                         if self.soft_depth == 0 {
                             self.mix.custom += cycles;
                         }
@@ -418,7 +443,15 @@ impl Cpu {
                         return Some(Stop::Quantum);
                     }
                     CoprocResult::SoftwareDispatch { target, cycles } => {
-                        self.cycles += cycles + cost::BRANCH_TAKEN;
+                        self.charge(cycles + cost::BRANCH_TAKEN);
+                        if self.soft_depth == 0 {
+                            // Entering a handler from user code: the
+                            // dispatching issue is soft-dispatch time.
+                            // (Nested dispatches are covered by the
+                            // `run` wrapper.)
+                            self.mix.soft_dispatch +=
+                                cost::PFU_ISSUE + cycles + cost::BRANCH_TAKEN;
+                        }
                         self.soft_depth += 1;
                         self.regs[14] = next_pc;
                         next_pc = target;
@@ -429,39 +462,52 @@ impl Cpu {
                 }
             }
             Instr::Mcr { rfu, rs, .. } => {
-                self.cycles += cost::CP_MOVE;
-                coproc.write_reg(rfu, read(&self.regs, rs.index()));
+                self.charge(cost::CP_MOVE);
+                coproc.write_reg(rfu, arch_read(&self.regs, pc, rs.index()));
             }
             Instr::Mrc { rd, rfu, .. } => {
-                self.cycles += cost::CP_MOVE;
+                self.charge(cost::CP_MOVE);
                 self.regs[rd.index()] = coproc.read_reg(rfu);
             }
             Instr::LdOp { rd, sel, .. } => {
-                self.cycles += cost::CP_MOVE;
+                self.charge(cost::CP_MOVE);
                 self.regs[rd.index()] = coproc.read_operand(sel);
             }
             Instr::StRes { rs, .. } => {
-                self.cycles += cost::CP_MOVE;
-                coproc.write_result(read(&self.regs, rs.index()));
+                self.charge(cost::CP_MOVE);
+                coproc.write_result(arch_read(&self.regs, pc, rs.index()));
             }
             Instr::RetSd { .. } => {
-                self.cycles += cost::RETSD;
+                self.charge(cost::RETSD);
                 self.soft_depth = self.soft_depth.saturating_sub(1);
                 let info = coproc.return_from_software();
                 self.regs[info.rd as usize & 0xF] = info.result;
                 next_pc = info.ret_addr;
             }
             Instr::McrO { field, rs, .. } => {
-                self.cycles += cost::CP_MOVE;
-                coproc.write_operand_field(field, read(&self.regs, rs.index()));
+                self.charge(cost::CP_MOVE);
+                coproc.write_operand_field(field, arch_read(&self.regs, pc, rs.index()));
             }
             Instr::MrcO { rd, field, .. } => {
-                self.cycles += cost::CP_MOVE;
+                self.charge(cost::CP_MOVE);
                 self.regs[rd.index()] = coproc.read_operand_field(field);
             }
         }
         self.regs[15] = next_pc;
         None
+    }
+}
+
+/// Architectural register read used by the execute stage: `r15` reads as
+/// the fetch address plus 4, every other index reads the register file.
+/// Free function (not a per-step closure) so the hot loop builds no
+/// captures.
+#[inline(always)]
+fn arch_read(regs: &[u32; 16], pc: u32, i: usize) -> u32 {
+    if i == 15 {
+        pc.wrapping_add(4)
+    } else {
+        regs[i]
     }
 }
 
@@ -582,6 +628,31 @@ mod tests {
             other => panic!("unexpected stop {other:?}"),
         }
         assert_eq!(cpu.pc(), 4);
+    }
+
+    #[test]
+    fn self_modifying_code_sees_the_new_instruction() {
+        // Execute `target` once (priming the decode cache), store a new
+        // encoding over it, then re-execute: the store must invalidate
+        // the cached entry so the patched instruction runs.
+        let (cpu, _) = run_asm(
+            "mov r0, #0\n\
+             b start\n\
+             patchsrc: mov r1, #2\n\
+             start: ldr r2, =patchsrc\n\
+             ldr r2, [r2]\n\
+             ldr r3, =target\n\
+             target: mov r1, #1\n\
+             cmp r0, #1\n\
+             beq done\n\
+             mov r4, r1\n\
+             str r2, [r3]\n\
+             mov r0, #1\n\
+             b target\n\
+             done: swi #0\n",
+        );
+        assert_eq!(cpu.reg(4), 1, "first pass must run the original instruction");
+        assert_eq!(cpu.reg(1), 2, "second pass must run the patched instruction");
     }
 
     #[test]

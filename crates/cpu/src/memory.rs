@@ -47,11 +47,13 @@ impl Error for MemError {}
 ///
 /// Carries a decode cache over low memory so the interpreter does not
 /// re-decode hot loops on every iteration; any store into a cached word
-/// invalidates its entry (self-modifying code stays correct).
+/// invalidates its entry (self-modifying code stays correct). Each entry
+/// holds the raw encoding alongside the decoded form so fetches never
+/// fabricate a word.
 #[derive(Debug, Clone)]
 pub struct Memory {
     bytes: Vec<u8>,
-    icache: Vec<Option<Instr>>,
+    icache: Vec<Option<(u32, Instr)>>,
 }
 
 impl PartialEq for Memory {
@@ -65,13 +67,23 @@ impl Eq for Memory {}
 impl Memory {
     /// Allocate `size` zeroed bytes.
     ///
+    /// The decode cache starts empty and grows on demand up to
+    /// [`ICACHE_WORDS`] entries: zeroing megabytes of cache up front
+    /// dominates short-lived instances (benchmarks, small scenario
+    /// jobs), while real programs only ever touch the low words.
+    ///
     /// # Panics
     ///
     /// Panics if `size` is not a multiple of 4.
     pub fn new(size: u32) -> Self {
         assert!(size.is_multiple_of(4), "memory size must be word-aligned");
-        let cache_len = (size as usize / 4).min(ICACHE_WORDS);
-        Self { bytes: vec![0; size as usize], icache: vec![None; cache_len] }
+        Self { bytes: vec![0; size as usize], icache: Vec::new() }
+    }
+
+    /// Highest word index the decode cache may grow to cover.
+    #[inline]
+    fn cache_limit(&self) -> usize {
+        (self.bytes.len() / 4).min(ICACHE_WORDS)
     }
 
     /// Fetch and decode the instruction at `addr`, consulting the decode
@@ -81,18 +93,29 @@ impl Memory {
     ///
     /// Propagates the word read error; returns `Ok(None)` when the word
     /// does not decode (undefined instruction).
+    #[inline]
     pub fn fetch_instr(&mut self, addr: u32) -> Result<(u32, Option<Instr>), MemError> {
         let idx = (addr / 4) as usize;
         if addr.is_multiple_of(4) {
-            if let Some(Some(instr)) = self.icache.get(idx) {
-                return Ok((0, Some(*instr)));
+            if let Some(Some((word, instr))) = self.icache.get(idx) {
+                return Ok((*word, Some(*instr)));
             }
         }
+        self.fetch_instr_slow(addr, idx)
+    }
+
+    /// Decode-cache miss path: read, decode, and (for decodable words in
+    /// low memory) populate the cache.
+    #[cold]
+    fn fetch_instr_slow(&mut self, addr: u32, idx: usize) -> Result<(u32, Option<Instr>), MemError> {
         let word = self.read_word(addr)?;
         match decode(word) {
             Ok(instr) => {
-                if let Some(slot) = self.icache.get_mut(idx) {
-                    *slot = Some(instr);
+                if idx < self.cache_limit() {
+                    if idx >= self.icache.len() {
+                        self.icache.resize(idx + 1, None);
+                    }
+                    self.icache[idx] = Some((word, instr));
                 }
                 Ok((word, Some(instr)))
             }
@@ -100,11 +123,26 @@ impl Memory {
         }
     }
 
+    /// Decode-cache lookup alone: the infallible fast lane the
+    /// interpreter hot loop uses before falling back to
+    /// [`Memory::fetch_instr`]. Hits only on aligned, previously decoded
+    /// words, so callers can skip all error handling.
+    #[inline(always)]
+    pub fn cached_instr(&self, addr: u32) -> Option<(u32, Instr)> {
+        if addr.is_multiple_of(4) {
+            if let Some(&Some(entry)) = self.icache.get((addr / 4) as usize) {
+                return Some(entry);
+            }
+        }
+        None
+    }
+
     /// Size in bytes.
     pub fn size(&self) -> u32 {
         self.bytes.len() as u32
     }
 
+    #[inline(always)]
     fn check(&self, addr: u32, len: u32) -> Result<usize, MemError> {
         let end = addr.checked_add(len).filter(|&e| e <= self.size());
         match end {
@@ -118,6 +156,7 @@ impl Memory {
     /// # Errors
     ///
     /// [`MemError::Unaligned`] or [`MemError::OutOfRange`].
+    #[inline(always)]
     pub fn read_word(&self, addr: u32) -> Result<u32, MemError> {
         if !addr.is_multiple_of(4) {
             return Err(MemError::Unaligned { addr });
@@ -131,6 +170,7 @@ impl Memory {
     /// # Errors
     ///
     /// [`MemError::Unaligned`] or [`MemError::OutOfRange`].
+    #[inline(always)]
     pub fn write_word(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
         if !addr.is_multiple_of(4) {
             return Err(MemError::Unaligned { addr });
@@ -148,6 +188,7 @@ impl Memory {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline(always)]
     pub fn read_byte(&self, addr: u32) -> Result<u8, MemError> {
         let i = self.check(addr, 1)?;
         Ok(self.bytes[i])
@@ -158,6 +199,7 @@ impl Memory {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline(always)]
     pub fn write_byte(&mut self, addr: u32, value: u8) -> Result<(), MemError> {
         let i = self.check(addr, 1)?;
         self.bytes[i] = value;
@@ -232,6 +274,25 @@ mod tests {
         assert!(m.read_word(8).is_err());
         assert!(m.write_word(u32::MAX - 2, 0).is_err());
         assert!(m.write_bytes(6, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn fetch_returns_raw_word_on_cache_hit() {
+        let p = proteus_isa::assemble("mov r0, #1\n").expect("asm");
+        let mut m = Memory::new(1024);
+        m.load_program(&p).expect("load");
+        let word = m.read_word(0).expect("read");
+        assert_ne!(word, 0);
+        let (miss_word, miss_instr) = m.fetch_instr(0).expect("miss fetch");
+        let (hit_word, hit_instr) = m.fetch_instr(0).expect("hit fetch");
+        assert_eq!(miss_word, word);
+        assert_eq!(hit_word, word, "cache hit must report the true encoding");
+        assert_eq!(miss_instr, hit_instr);
+        assert_eq!(m.cached_instr(0), Some((word, miss_instr.expect("decodes"))));
+        // Stores invalidate; unaligned and uncached addresses miss.
+        m.write_word(0, word).expect("write");
+        assert_eq!(m.cached_instr(0), None);
+        assert_eq!(m.cached_instr(2), None);
     }
 
     #[test]

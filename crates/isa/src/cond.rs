@@ -71,7 +71,19 @@ impl Cond {
     }
 
     /// Evaluate against the four CPSR flags.
+    ///
+    /// Table-driven: one 16-bit row per condition, one bit per NZCV
+    /// combination, so the interpreter hot loop does a load and a shift
+    /// instead of a 15-way branch.
+    #[inline(always)]
     pub fn passes(self, n: bool, z: bool, c: bool, v: bool) -> bool {
+        let nzcv = ((n as usize) << 3) | ((z as usize) << 2) | ((c as usize) << 1) | (v as usize);
+        PASS_TABLE[self as usize] >> nzcv & 1 != 0
+    }
+
+    /// Reference semantics for [`Cond::passes`]; kept as the readable
+    /// definition the lookup table is built (and tested) against.
+    const fn passes_spec(self, n: bool, z: bool, c: bool, v: bool) -> bool {
         match self {
             Cond::Eq => z,
             Cond::Ne => !z,
@@ -135,6 +147,25 @@ impl Cond {
     }
 }
 
+/// Precomputed truth table for [`Cond::passes`]: row = condition in
+/// encoding order, bit = NZCV packed as `n<<3 | z<<2 | c<<1 | v`.
+const PASS_TABLE: [u16; 15] = {
+    let mut table = [0u16; 15];
+    let mut row = 0;
+    while row < 15 {
+        let cond = Cond::ALL[row];
+        let mut nzcv = 0;
+        while nzcv < 16 {
+            if cond.passes_spec(nzcv & 8 != 0, nzcv & 4 != 0, nzcv & 2 != 0, nzcv & 1 != 0) {
+                table[row] |= 1 << nzcv;
+            }
+            nzcv += 1;
+        }
+        row += 1;
+    }
+    table
+};
+
 impl fmt::Display for Cond {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.suffix())
@@ -157,6 +188,20 @@ mod tests {
     fn suffix_roundtrip() {
         for c in Cond::ALL {
             assert_eq!(Cond::from_suffix(c.suffix()), Some(c));
+        }
+    }
+
+    #[test]
+    fn table_matches_spec_exhaustively() {
+        for cond in Cond::ALL {
+            for nzcv in 0u8..16 {
+                let (n, z, c, v) = (nzcv & 8 != 0, nzcv & 4 != 0, nzcv & 2 != 0, nzcv & 1 != 0);
+                assert_eq!(
+                    cond.passes(n, z, c, v),
+                    cond.passes_spec(n, z, c, v),
+                    "{cond:?} at n={n} z={z} c={c} v={v}"
+                );
+            }
         }
     }
 

@@ -33,13 +33,19 @@ impl Reg {
     }
 
     /// The register index (0–15).
+    ///
+    /// The mask is free (the constructors guarantee `self.0 < 16`) and
+    /// lets the compiler drop the bounds check on every register-file
+    /// access in the interpreter hot loop.
+    #[inline(always)]
     pub fn index(self) -> usize {
-        self.0 as usize
+        (self.0 & 0xF) as usize
     }
 
     /// The 4-bit encoding.
+    #[inline(always)]
     pub fn bits(self) -> u32 {
-        u32::from(self.0)
+        u32::from(self.0 & 0xF)
     }
 
     /// Parse an assembler register name (`r0`–`r15`, `sp`, `lr`, `pc`).

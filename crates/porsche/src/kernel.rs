@@ -332,7 +332,7 @@ impl Kernel {
     /// (the embedder advances the clock; the kernel attributes it).
     pub fn note_idle(&mut self, at: u64, cycles: u64) {
         if cycles > 0 {
-            self.probe.emit(at, Event::Idle { cycles });
+            self.probe.idle_span(at, cycles);
         }
     }
 
@@ -365,10 +365,13 @@ impl Kernel {
         self.quantum_end = cpu.cycles() + self.config.quantum;
     }
 
-    /// Emit the [`Event::Compute`] for a guest execution span that
-    /// started at `span_start`, splitting it into user, custom-execute
-    /// and software-dispatch cycles using the CPU's execution mix and
-    /// the RFU's dispatch counters (both drained per span).
+    /// Attribute a guest execution span that started at `span_start`,
+    /// splitting it into user, custom-execute and software-dispatch
+    /// cycles using the CPU's execution mix and the RFU's dispatch
+    /// counters (both drained per span) — O(1) work per quantum. Goes
+    /// through [`Probe::compute_span`], which only materialises an
+    /// [`Event::Compute`] when an observer beyond the built-in folds is
+    /// attached.
     fn attribute_span(&mut self, pid: Pid, span_start: u64, cpu: &mut Cpu, rfu: &mut Rfu) {
         let mix = cpu.take_exec_mix();
         let counters = rfu.take_dispatch_counters();
@@ -378,16 +381,14 @@ impl Kernel {
         }
         debug_assert!(mix.custom + mix.soft_dispatch <= span, "mix exceeds span");
         let user = span.saturating_sub(mix.custom + mix.soft_dispatch);
-        self.probe.emit(
+        self.probe.compute_span(
             cpu.cycles(),
-            Event::Compute {
-                pid,
-                user,
-                custom: mix.custom,
-                soft: mix.soft_dispatch,
-                hw_dispatches: counters.hw_dispatches,
-                sw_dispatches: counters.sw_dispatches,
-            },
+            pid,
+            user,
+            mix.custom,
+            mix.soft_dispatch,
+            counters.hw_dispatches,
+            counters.sw_dispatches,
         );
     }
 

@@ -407,6 +407,52 @@ impl Probe {
         }
     }
 
+    /// `true` when something beyond the built-in folds observes the
+    /// stream: the trace ring is enabled or extra sinks are attached.
+    /// When `false`, the span-delta fast paths below skip `Event`
+    /// construction entirely — the built-in folds are updated directly,
+    /// so the observable totals are identical either way.
+    #[inline]
+    pub fn needs_events(&self) -> bool {
+        self.trace.enabled() || !self.extra.is_empty()
+    }
+
+    /// Attribute a completed compute span: the fast-path equivalent of
+    /// emitting [`Event::Compute`]. The ledger is the only built-in fold
+    /// that consumes compute spans ([`KernelStats`] ignores them), so
+    /// with no other observers attached this is three adds.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_span(
+        &mut self,
+        at: u64,
+        pid: Pid,
+        user: u64,
+        custom: u64,
+        soft: u64,
+        hw_dispatches: u64,
+        sw_dispatches: u64,
+    ) {
+        if self.needs_events() {
+            self.emit(at, Event::Compute { pid, user, custom, soft, hw_dispatches, sw_dispatches });
+        } else {
+            self.ledger.user_compute += user;
+            self.ledger.custom_execute += custom;
+            self.ledger.soft_dispatch += soft;
+        }
+    }
+
+    /// Attribute an idle span: the fast-path equivalent of emitting
+    /// [`Event::Idle`].
+    #[inline]
+    pub fn idle_span(&mut self, at: u64, cycles: u64) {
+        if self.needs_events() {
+            self.emit(at, Event::Idle { cycles });
+        } else {
+            self.ledger.idle += cycles;
+        }
+    }
+
     /// The folded statistics.
     pub fn stats(&self) -> &KernelStats {
         &self.stats
@@ -465,6 +511,43 @@ mod tests {
         assert_eq!(s.syscalls, 1);
 
         assert_eq!(probe.trace().len(), 8);
+    }
+
+    #[test]
+    fn span_fast_path_matches_event_fold() {
+        // Same spans through the fast path (no observers) and the full
+        // event path (trace enabled) must produce identical ledgers.
+        let mut fast = Probe::new(0);
+        assert!(!fast.needs_events());
+        fast.compute_span(10, 1, 7, 2, 1, 1, 1);
+        fast.idle_span(60, 50);
+
+        let mut slow = Probe::new(16);
+        assert!(slow.needs_events());
+        slow.compute_span(10, 1, 7, 2, 1, 1, 1);
+        slow.idle_span(60, 50);
+
+        assert_eq!(fast.ledger(), slow.ledger());
+        assert_eq!(fast.trace().len(), 0);
+        assert_eq!(slow.trace().len(), 2, "observers still get the events");
+    }
+
+    #[test]
+    fn extra_sinks_flip_spans_back_to_events() {
+        struct Seen(std::sync::mpsc::Sender<String>);
+        impl EventSink for Seen {
+            fn on_event(&mut self, _at: u64, event: &Event) {
+                let _ = self.0.send(event.to_string());
+            }
+        }
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut probe = Probe::new(0);
+        probe.add_sink(Box::new(Seen(tx)));
+        assert!(probe.needs_events());
+        probe.compute_span(10, 1, 7, 2, 1, 0, 0);
+        probe.idle_span(60, 50);
+        let seen: Vec<String> = rx.try_iter().collect();
+        assert_eq!(seen, vec!["compute pid=1 user=7 custom=2 soft=1", "idle 50"]);
     }
 
     #[test]

@@ -254,6 +254,9 @@ impl ExperimentPlan {
         }
 
         // Deterministic assembly: plan order, first-mention series order.
+        // PROTEUS_JOB_TIMES=1 dumps one timing line per job to stderr —
+        // the cheap way to see where host time goes without a profiler.
+        let job_times = std::env::var_os("PROTEUS_JOB_TIMES").is_some();
         let mut set = SeriesSet::new(figure.clone());
         let mut breakdown = BreakdownSet::new(figure.clone());
         let mut job_wall = Duration::ZERO;
@@ -264,6 +267,14 @@ impl ExperimentPlan {
                 .expect("result slot lock")
                 .take()
                 .expect("every job completed");
+            if job_times {
+                eprintln!(
+                    "[job {i:>3}] {:>8.3}s {:>14} cyc {:>9.3e} cyc/s  {name}",
+                    dur.as_secs_f64(),
+                    output.sim_cycles,
+                    output.sim_cycles as f64 / dur.as_secs_f64().max(1e-9),
+                );
+            }
             job_wall += dur;
             sim_cycles += output.sim_cycles;
             for (x, total, ledger) in output.breakdown {

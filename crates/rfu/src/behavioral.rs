@@ -78,6 +78,24 @@ impl PfuCircuit for FixedLatency {
         }
     }
 
+    fn run_clocks(&mut self, op_a: u32, op_b: u32, init: bool, budget: u64) -> (u64, Option<u32>) {
+        if init {
+            self.elapsed = 0;
+            self.latched = (op_a, op_b);
+        }
+        // `done` rises on the clock where elapsed reaches latency; at
+        // least one clock always elapses.
+        let remaining = u64::from(self.latency.saturating_sub(self.elapsed)).max(1);
+        if remaining <= budget {
+            let (a, b) = self.latched;
+            self.elapsed = 0;
+            (remaining, Some((self.func)(a, b)))
+        } else {
+            self.elapsed += budget as u32;
+            (budget, None)
+        }
+    }
+
     fn save_state(&self) -> CircuitState {
         let mut words = vec![0u32; self.state_words.max(3)];
         words[0] = self.elapsed;
@@ -168,6 +186,24 @@ impl PfuCircuit for StatefulLatency {
         }
     }
 
+    fn run_clocks(&mut self, op_a: u32, op_b: u32, init: bool, budget: u64) -> (u64, Option<u32>) {
+        if init {
+            self.elapsed = 0;
+            self.latched = (op_a, op_b);
+        }
+        let remaining = u64::from(self.latency.saturating_sub(self.elapsed)).max(1);
+        if remaining <= budget {
+            let (a, b) = self.latched;
+            self.elapsed = 0;
+            let (next, result) = (self.func)(self.state, a, b);
+            self.state = next;
+            (remaining, Some(result))
+        } else {
+            self.elapsed += budget as u32;
+            (budget, None)
+        }
+    }
+
     fn save_state(&self) -> CircuitState {
         let mut words = vec![0u32; self.state_words.max(4)];
         words[0] = self.elapsed;
@@ -249,6 +285,22 @@ impl PfuCircuit for Keyed {
         }
     }
 
+    fn run_clocks(&mut self, op_a: u32, op_b: u32, init: bool, budget: u64) -> (u64, Option<u32>) {
+        if init {
+            self.elapsed = 0;
+            self.latched = (op_a, op_b);
+        }
+        let remaining = u64::from(self.latency.saturating_sub(self.elapsed)).max(1);
+        if remaining <= budget {
+            let (a, b) = self.latched;
+            self.elapsed = 0;
+            (remaining, Some((self.func)(a, b)))
+        } else {
+            self.elapsed += budget as u32;
+            (budget, None)
+        }
+    }
+
     fn save_state(&self) -> CircuitState {
         let mut words = vec![0u32; self.state_words.max(3)];
         words[0] = self.elapsed;
@@ -289,6 +341,60 @@ pub fn alpha_blend() -> FixedLatency {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn default_run(
+        c: &mut dyn PfuCircuit,
+        op_a: u32,
+        op_b: u32,
+        mut init: bool,
+        budget: u64,
+    ) -> (u64, Option<u32>) {
+        // The trait-default per-cycle loop, spelled out so the test
+        // compares the override against the reference protocol even if
+        // the default itself changes.
+        let mut used = 0u64;
+        while used < budget {
+            let out = c.clock(op_a, op_b, init);
+            init = false;
+            used += 1;
+            if out.done {
+                return (used, Some(out.result));
+            }
+        }
+        (used, None)
+    }
+
+    #[test]
+    fn run_clocks_fast_forward_matches_per_cycle_clocking() {
+        for latency in [1u32, 2, 5, 7] {
+            let mut fast = FixedLatency::new("t", latency, 4, |a, b| a ^ b);
+            let mut slow = FixedLatency::new("t", latency, 4, |a, b| a ^ b);
+            let mut init = true;
+            for budget in [1u64, 3, 2, 10, 1, 4, 2, 9] {
+                let f = fast.run_clocks(9, 5, init, budget);
+                let s = default_run(&mut slow, 9, 5, init, budget);
+                assert_eq!(f, s, "latency={latency} budget={budget}");
+                init = f.1.is_some();
+            }
+            assert_eq!(fast.save_state().0, slow.save_state().0);
+        }
+    }
+
+    #[test]
+    fn stateful_run_clocks_matches_per_cycle_clocking() {
+        let f = |s: u32, a: u32, b: u32| (s.wrapping_add(a), s ^ b);
+        let mut fast = StatefulLatency::new("acc", 3, 4, 7, f);
+        let mut slow = StatefulLatency::new("acc", 3, 4, 7, f);
+        let mut init = true;
+        for budget in [2u64, 2, 5, 1, 1, 1, 8] {
+            let a = fast.run_clocks(11, 4, init, budget);
+            let b = default_run(&mut slow, 11, 4, init, budget);
+            assert_eq!(a, b, "budget={budget}");
+            init = a.1.is_some();
+        }
+        assert_eq!(fast.state(), slow.state());
+        assert_eq!(fast.save_state().0, slow.save_state().0);
+    }
 
     #[test]
     fn fixed_latency_counts_cycles() {

@@ -44,6 +44,29 @@ pub trait PfuCircuit: fmt::Debug {
     /// does not belong to this circuit type.
     fn load_state(&mut self, state: &CircuitState) -> Result<(), FabricError>;
 
+    /// Clock the circuit up to `budget` (≥ 1) times, presenting `init`
+    /// on the first clock only — the status-register protocol
+    /// [`crate::PfuArray::run`] drives. Returns the clocks consumed and
+    /// `Some(result)` if `done` rose on the final one.
+    ///
+    /// The default iterates [`PfuCircuit::clock`]; models whose timing
+    /// is analytically known (the behavioral latency counters) override
+    /// it with an O(1) fast-forward. Overrides must be observably
+    /// identical to the default, including all state mutations.
+    fn run_clocks(&mut self, op_a: u32, op_b: u32, init: bool, budget: u64) -> (u64, Option<u32>) {
+        let mut used = 0u64;
+        let mut init = init;
+        while used < budget {
+            let out = self.clock(op_a, op_b, init);
+            init = false;
+            used += 1;
+            if out.done {
+                return (used, Some(out.result));
+            }
+        }
+        (used, None)
+    }
+
     /// Size of the static configuration in bytes (54 000 for a full
     /// 500-CLB PFU, per the paper).
     fn static_config_bytes(&self) -> usize {

@@ -124,22 +124,26 @@ impl PfuArray {
     /// Panics if the PFU is empty — the dispatch layer must check
     /// [`PfuArray::is_loaded`] first.
     pub fn run(&mut self, pfu: PfuIndex, op_a: u32, op_b: u32, budget: u64) -> RunOutcome {
+        if budget == 0 {
+            return RunOutcome::OutOfBudget { cycles: 0 };
+        }
         let slot = &mut self.slots[pfu];
         let circuit = slot.circuit.as_mut().expect("run on empty PFU");
-        let mut used = 0u64;
-        while used < budget {
-            let init = slot.status;
-            let out = circuit.clock(op_a, op_b, init);
-            slot.status = out.done;
-            used += 1;
-            if out.done {
-                self.busy_cycles += used;
-                self.counters.record_completion(pfu);
-                return RunOutcome::Done { value: out.result, cycles: used };
-            }
-        }
+        // The status bit presents `init` on the first clock and tracks
+        // `done` thereafter; `run_clocks` lets analytic circuit models
+        // fast-forward the whole span in O(1) instead of clocking
+        // per cycle.
+        let (used, result) = circuit.run_clocks(op_a, op_b, slot.status, budget);
+        debug_assert!(used >= 1 && used <= budget, "circuit consumed {used} of {budget}");
+        slot.status = result.is_some();
         self.busy_cycles += used;
-        RunOutcome::OutOfBudget { cycles: used }
+        match result {
+            Some(value) => {
+                self.counters.record_completion(pfu);
+                RunOutcome::Done { value, cycles: used }
+            }
+            None => RunOutcome::OutOfBudget { cycles: used },
+        }
     }
 
     /// Total cycles any PFU in the array has spent clocking circuits —

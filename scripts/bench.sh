@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tracked perf benchmark: build the release binary and run the pinned
+# benchmark subset (`repro --bench`), appending results/BENCH_<n>.json
+# with throughput + host metadata and a comparison against the latest
+# comparable record. Pass --quick for the CI-scale variant; any extra
+# arguments are forwarded to repro.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p proteus-bench --bin repro
+./target/release/repro --bench "$@"
