@@ -3,7 +3,8 @@
 //! ```text
 //! repro [--quick] [--jobs N] [--out DIR] [--trace SCENARIO]
 //!       [fig2] [fig3] [speedup] [policies] [quanta] [pfus]
-//!       [config-split] [tlb] [longinstr] [soft-crossover] [sharing] [dynamic] [all]
+//!       [config-split] [tlb] [longinstr] [soft-crossover] [sharing]
+//!       [dynamic] [faults] [all]
 //! ```
 //!
 //! With no experiment names, runs `all`. Each experiment is a

@@ -51,10 +51,16 @@
 //! # }
 //! ```
 
+// Fault-handling code must surface typed errors, not panic: the kernel
+// recovery ladder is built on these paths (see DESIGN.md §9).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bitstream;
 pub mod builder;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod library;
 pub mod netlist;
 pub mod place;
@@ -63,6 +69,7 @@ pub mod synth;
 pub mod validate;
 
 pub use bitstream::{Bitstream, CONFIG_BYTES_PER_CLB};
+pub use fault::{FaultConfig, FaultInjector, FaultKind};
 pub use builder::NetlistBuilder;
 pub use device::{ClockOutput, Device};
 pub use error::FabricError;

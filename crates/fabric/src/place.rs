@@ -71,21 +71,20 @@ pub struct Placement {
 impl Placement {
     /// Translate a netlist node into the fabric-level source that routing
     /// muxes select.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the node was never placed (placement covers all nodes of
-    /// a checked netlist, so this indicates an internal bug).
     pub fn source_of(&self, netlist: &Netlist, id: NodeId) -> SourceRef {
         match netlist.nodes()[id.index()] {
             Node::Const(v) => SourceRef::Const(v),
             Node::Input { port, bit } => SourceRef::Port(port, bit),
-            Node::Lut { .. } => SourceRef::ClbLut(
-                *self.lut_site.get(&id).expect("LUT node missing from placement"),
-            ),
-            Node::Dff { .. } => SourceRef::ClbDff(
-                *self.dff_site.get(&id).expect("DFF node missing from placement"),
-            ),
+            Node::Lut { .. } => {
+                // Invariant: placement covers every node of a checked
+                // netlist, so a missing site is an internal bug.
+                debug_assert!(self.lut_site.contains_key(&id), "LUT node missing from placement");
+                SourceRef::ClbLut(self.lut_site.get(&id).copied().unwrap_or_default())
+            }
+            Node::Dff { .. } => {
+                debug_assert!(self.dff_site.contains_key(&id), "DFF node missing from placement");
+                SourceRef::ClbDff(self.dff_site.get(&id).copied().unwrap_or_default())
+            }
         }
     }
 }

@@ -298,7 +298,12 @@ pub fn synthesize(design: &GateNetlist) -> Result<Netlist, FabricError> {
     // Wire DFF inputs.
     for (i, g) in design.gates.iter().enumerate() {
         if let Gate::Dff { d, .. } = g {
-            let dff = map[i].expect("allocated");
+            let Some(dff) = map[i] else {
+                // Invariant: DFF gates are allocated unconditionally in
+                // the first mapping pass above.
+                debug_assert!(false, "DFF gate {i} unallocated");
+                return Err(FabricError::DanglingNode { node: i as u32 });
+            };
             let src = map[d.0 as usize].ok_or(FabricError::DanglingNode { node: d.0 })?;
             b.set_dff_input(dff, src);
         }

@@ -7,6 +7,7 @@
 //! none lost.
 
 use porsche::cis::DispatchMode;
+use porsche::fault::{FaultPlan, RecoveryPolicy};
 use porsche::policy::PolicyKind;
 use porsche::probe::{CycleLedger, Event, EventSink};
 use porsche::stats::KernelStats;
@@ -74,6 +75,74 @@ proptest! {
             "ledger categories must sum to the simulated cycle count: {:?}",
             result.ledger
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The contract must survive active fault injection: whatever the
+    /// ladder does — burned budgets, CRC readbacks, retry reloads,
+    /// failover, quarantine, even killing the process — the stream
+    /// refolds to the kernel's own sinks and the two fault categories
+    /// join the conservation sum. Validity is NOT asserted (a hostile
+    /// enough plan under a weak enough policy legitimately kills).
+    #[test]
+    fn fault_injection_preserves_the_instrumentation_contract(
+        instances in 1usize..4,
+        pfus in 1usize..4,
+        quantum in 5_000u64..50_000,
+        seed in any::<u64>(),
+        seu_mean in prop_oneof![Just(0u64), 2_000u64..40_000],
+        transit_pct in prop_oneof![Just(0u32), 5u32..50],
+        stuck in proptest::option::of((0usize..4, 0u64..60_000)),
+        scrub in proptest::option::of(1_000u64..10_000),
+        (max_retries, software_failover, quarantine_threshold)
+            in (0u32..3, any::<bool>(), proptest::option::of(1u32..4)),
+    ) {
+        let plan = FaultPlan {
+            seed,
+            seu_mean_cycles: seu_mean,
+            transit_error_rate: f64::from(transit_pct) / 100.0,
+            // Fold the drawn slot onto the machine's actual array.
+            stuck_pfu: stuck.map(|(slot, at)| (slot % pfus, at)),
+            scrub_interval: scrub,
+        };
+        let recovery = RecoveryPolicy { max_retries, software_failover, quarantine_threshold };
+        let result = Scenario::new(AppKind::Alpha)
+            .instances(instances)
+            .size(16)
+            .passes(3)
+            .quantum(quantum)
+            .pfus(pfus)
+            .software_alts()
+            .watchdog(1_500)
+            .faults(plan)
+            .recovery(recovery)
+            .trace_capacity(1 << 22)
+            .run()
+            .expect("run completes");
+
+        let mut stats = KernelStats::default();
+        let mut ledger = CycleLedger::default();
+        for &(at, ref event) in &result.trace {
+            stats.on_event(at, event);
+            ledger.on_event(at, event);
+        }
+        prop_assert_eq!(stats, result.stats, "stats fold diverged under faults");
+        prop_assert_eq!(ledger, result.ledger, "ledger fold diverged under faults");
+        prop_assert_eq!(
+            result.ledger.total(),
+            result.total_cycles,
+            "conservation must hold with fault categories: {:?}",
+            result.ledger
+        );
+
+        // A process that did not finish must have been killed by the
+        // ladder, never silently wedged or given wrong results.
+        if !result.all_valid() {
+            prop_assert!(result.stats.kills > 0, "invalid without a kill: {:?}", result.stats);
+        }
     }
 }
 

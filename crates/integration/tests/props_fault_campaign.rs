@@ -1,0 +1,35 @@
+//! Determinism of the fault-injection campaign (DESIGN.md §9): a
+//! [`FaultPlan`] is driven by one seeded RNG per run, so the campaign's
+//! CSV artefacts must be byte-identical at ANY worker count — fault
+//! timing may never leak host scheduling into the results. This is the
+//! same contract `repro --jobs N` relies on for the golden-file diff in
+//! CI, checked here across random scales and seeds.
+
+use proptest::prelude::*;
+use proteus::experiment::{fault_campaign_plan, Scale};
+
+proptest! {
+    // Each case runs the 28-cell campaign twice; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn campaign_artifacts_are_byte_identical_across_worker_counts(
+        seed in 0u64..1_000,
+        target_kcycles in 300u64..600,
+    ) {
+        let scale = Scale { target_cycles: target_kcycles * 1_000, max_instances: 3, seed };
+        let (serial_set, serial_metrics) = fault_campaign_plan(&scale).execute(1);
+        let (parallel_set, parallel_metrics) = fault_campaign_plan(&scale).execute(8);
+        prop_assert_eq!(
+            serial_set.to_csv(),
+            parallel_set.to_csv(),
+            "campaign CSV must not depend on worker count"
+        );
+        prop_assert_eq!(
+            serial_metrics.breakdown.to_csv(),
+            parallel_metrics.breakdown.to_csv(),
+            "cycle-attribution CSV must not depend on worker count"
+        );
+        prop_assert_eq!(serial_metrics.sim_cycles, parallel_metrics.sim_cycles);
+    }
+}

@@ -14,8 +14,9 @@ use std::collections::BTreeMap;
 use proteus_rfu::{FaultInfo, PfuIndex, Rfu, TupleKey};
 
 use crate::costs::CostModel;
+use crate::fault::{FaultUnit, RecoveryPolicy};
 use crate::policy::{PolicyView, ReplacementPolicy};
-use crate::probe::{Event, Probe};
+use crate::probe::{Event, PfuFaultKind, Probe};
 use crate::process::{Pid, Process};
 
 /// How the CIS resolves contention (the paper's two experiments).
@@ -41,9 +42,15 @@ pub enum FaultResolution {
         /// Kernel cycles consumed resolving the fault.
         cycles: u64,
     },
-    /// The mapping request was illegal (unregistered CID) or the circuit
-    /// ran away — terminate the process (§4.2).
-    Kill,
+    /// The mapping request was illegal (unregistered CID), the circuit
+    /// ran away, or every recovery rung was exhausted — terminate the
+    /// process (§4.2). `cycles` is the handler work spent reaching the
+    /// verdict (entry, diagnosis, failed retries); the kernel must
+    /// charge it so every cost the handler emitted stays conserved.
+    Kill {
+        /// Kernel cycles consumed before deciding to kill.
+        cycles: u64,
+    },
 }
 
 /// CIS bookkeeping: who owns each PFU, load/use recency, TLB cursor.
@@ -154,9 +161,17 @@ impl Cis {
         self.pfu_image[pfu] = None;
         let dropped = rfu.tlb_hw_mut().invalidate_value(pfu as u32);
         debug_assert!(dropped <= rfu.tlb_hw().capacity());
+        // A faulty slot's status bit is untrustworthy: burned issues
+        // drive it low without ever latching operands into the circuit,
+        // so saving the 0 would make the next home "resume" an
+        // instruction that never started — with stale operands. Saving
+        // 1 restarts it instead, which is always sound: circuit state
+        // only mutates on completion (DESIGN.md §9).
+        let faulty = rfu.pfus().health(pfu).is_faulty();
         let Some((circuit, status)) = rfu.pfus_mut().unload(pfu) else {
             return 0;
         };
+        let status = status || faulty;
         probe.emit(at, Event::Eviction { key: owner });
         let mut cycles = 0u64;
         if let Some(reg) = procs.get_mut(&owner.pid).and_then(|p| p.circuits.get_mut(&owner.cid)) {
@@ -189,6 +204,8 @@ impl Cis {
         rfu: &mut Rfu,
         procs: &mut BTreeMap<Pid, Process>,
         policy: &mut dyn ReplacementPolicy,
+        recovery: &RecoveryPolicy,
+        faults: Option<&mut FaultUnit>,
         costs: &CostModel,
         probe: &mut Probe,
         at: u64,
@@ -196,17 +213,27 @@ impl Cis {
         let mut cycles = costs.fault_entry;
         probe.emit(at, Event::Fault { key, cost: cycles });
 
-        // Runaway circuits are fatal (the OS's timeliness guarantee, §2).
-        if let Some(FaultInfo::Runaway { .. }) = rfu.take_fault() {
-            return FaultResolution::Kill;
+        match rfu.take_fault() {
+            // Runaway circuits are fatal (the OS's timeliness
+            // guarantee, §2).
+            Some(FaultInfo::Runaway { .. }) => return FaultResolution::Kill { cycles },
+            // The per-PFU watchdog tripped: enter the recovery ladder
+            // (DESIGN.md §9) instead of the placement path.
+            Some(FaultInfo::Watchdog { pfu, burned, .. }) => {
+                return self.recover_pfu_fault(
+                    key, pfu, burned, rfu, procs, policy, recovery, faults, costs, probe, at,
+                    cycles,
+                );
+            }
+            _ => {}
         }
 
         let Some(proc) = procs.get_mut(&key.pid) else {
-            return FaultResolution::Kill;
+            return FaultResolution::Kill { cycles };
         };
         let Some(reg) = proc.circuits.get_mut(&key.cid) else {
             // "terminate the process if the mapping request was illegal".
-            return FaultResolution::Kill;
+            return FaultResolution::Kill { cycles };
         };
 
         // §4.2: check for a plain mapping fault first — the circuit is
@@ -224,7 +251,12 @@ impl Cis {
         // process memory); this fault just means the TLB2 entry was
         // pushed out.
         if reg.soft_active {
-            let addr = reg.software_alt.expect("soft_active implies an alternative");
+            // soft_active is only ever set alongside a registered
+            // alternative; a missing one is an illegal mapping request.
+            debug_assert!(reg.software_alt.is_some(), "soft_active without an alternative");
+            let Some(addr) = reg.software_alt else {
+                return FaultResolution::Kill { cycles };
+            };
             probe.emit(at, Event::MappingRepair { key });
             cycles += Self::tlb_insert(
                 &mut self.tlb_hand, rfu.tlb_sw_mut(), key, addr, true, costs, probe, at,
@@ -232,15 +264,15 @@ impl Cis {
             return FaultResolution::Reissue { cycles };
         }
 
-        let software_alt = reg.software_alt;
-        let static_bytes = reg.static_bytes;
         let state_words = reg.state_words;
         let image = reg.image;
 
         // Sharing fast path (§4.2): another process's instance of the
         // same configuration image is resident — hand the PFU over by
-        // swapping state frames only, no reconfiguration.
-        if self.share_circuits && rfu.pfus().free_pfus().is_empty() {
+        // swapping state frames only, no reconfiguration. (Allocatable
+        // = free and not quarantined; identical to the free list when
+        // no fault plan is active.)
+        if self.share_circuits && rfu.pfus().available_pfus().is_empty() {
             if let Some(pfu) = image.and_then(|img| {
                 (0..self.pfu_image.len()).find(|&p| self.pfu_image[p] == Some(img))
             }) {
@@ -248,23 +280,34 @@ impl Cis {
                 // owner's registry...
                 let prev_owner = self.pfu_owner[pfu].take();
                 rfu.tlb_hw_mut().invalidate_value(pfu as u32);
+                // Same status-bit trust rule as `unload`: a faulty
+                // slot's low bit is a burn artefact, not real progress.
+                let faulty = rfu.pfus().health(pfu).is_faulty();
                 if let Some((circuit, status)) = rfu.pfus_mut().unload(pfu) {
                     if let Some(prev) = prev_owner {
                         if let Some(prev_reg) =
                             procs.get_mut(&prev.pid).and_then(|p| p.circuits.get_mut(&prev.cid))
                         {
                             prev_reg.instance = Some(circuit);
-                            prev_reg.status = status;
+                            prev_reg.status = status || faulty;
                             prev_reg.loaded_at = None;
                         }
                     }
                 }
                 // ...and install the faulting process's instance: the
                 // static configuration is identical, so only the state
-                // frames move over the bus.
-                let proc = procs.get_mut(&key.pid).expect("checked above");
-                let reg = proc.circuits.get_mut(&key.cid).expect("checked above");
-                let circuit = reg.instance.take().expect("not loaded");
+                // frames move over the bus. Both lookups succeeded at
+                // handler entry; a miss here would be a registry bug.
+                let Some(reg) =
+                    procs.get_mut(&key.pid).and_then(|p| p.circuits.get_mut(&key.cid))
+                else {
+                    debug_assert!(false, "registration vanished mid-handler");
+                    return FaultResolution::Kill { cycles };
+                };
+                let Some(circuit) = reg.instance.take() else {
+                    debug_assert!(false, "unloaded tuple without a home instance");
+                    return FaultResolution::Kill { cycles };
+                };
                 rfu.pfus_mut().load(pfu, circuit);
                 rfu.pfus_mut().set_status(pfu, reg.status);
                 reg.loaded_at = Some(pfu);
@@ -286,21 +329,62 @@ impl Cis {
             }
         }
 
-        // Find a home: a free PFU, the software alternative, or a victim.
-        let target = match rfu.pfus().free_pfus().first().copied() {
+        self.place_and_load(key, rfu, procs, policy, recovery, faults, costs, probe, at, cycles)
+    }
+
+    /// Find a home for `key`'s circuit — an allocatable PFU, the
+    /// software alternative, or a victim's slot — and drive the full
+    /// configuration across the bus, verifying the transfer when the
+    /// fault plan models transit corruption. `cycles` carries the
+    /// caller's charge so far; the returned resolution folds in every
+    /// cost emitted here.
+    #[allow(clippy::too_many_arguments)]
+    fn place_and_load(
+        &mut self,
+        key: TupleKey,
+        rfu: &mut Rfu,
+        procs: &mut BTreeMap<Pid, Process>,
+        policy: &mut dyn ReplacementPolicy,
+        recovery: &RecoveryPolicy,
+        faults: Option<&mut FaultUnit>,
+        costs: &CostModel,
+        probe: &mut Probe,
+        at: u64,
+        mut cycles: u64,
+    ) -> FaultResolution {
+        let Some(reg) = procs.get(&key.pid).and_then(|p| p.circuits.get(&key.cid)) else {
+            debug_assert!(false, "placement for an unregistered tuple");
+            return FaultResolution::Kill { cycles };
+        };
+        let software_alt = reg.software_alt;
+        let static_bytes = reg.static_bytes;
+        let state_words = reg.state_words;
+        let image = reg.image;
+
+        // Find a home: an allocatable PFU, the software alternative, or
+        // a victim.
+        let target = match rfu.pfus().available_pfus().first().copied() {
             Some(free) => free,
             None => {
-                if self.mode == DispatchMode::SoftwareFallback {
+                // With every slot quarantined there is nothing to
+                // evict; software dispatch is the only way forward.
+                let no_victims = self.pfu_owner.iter().all(Option::is_none);
+                if self.mode == DispatchMode::SoftwareFallback || no_victims {
                     if let Some(addr) = software_alt {
                         probe.emit(at, Event::SoftwareInstall { key });
                         cycles += Self::tlb_insert(
                             &mut self.tlb_hand, rfu.tlb_sw_mut(), key, addr, true, costs, probe, at,
                         );
-                        let proc = procs.get_mut(&key.pid).expect("checked above");
-                        let reg = proc.circuits.get_mut(&key.cid).expect("checked above");
-                        reg.soft_active = true;
+                        if let Some(reg) =
+                            procs.get_mut(&key.pid).and_then(|p| p.circuits.get_mut(&key.cid))
+                        {
+                            reg.soft_active = true;
+                        }
                         return FaultResolution::Reissue { cycles };
                     }
+                }
+                if no_victims {
+                    return FaultResolution::Kill { cycles };
                 }
                 let counts = self.refresh_usage(rfu);
                 let victim = policy.select_victim(&PolicyView {
@@ -317,23 +401,54 @@ impl Cis {
         };
 
         // Full configuration load: static frames + state frames (§4.1).
-        let proc = procs.get_mut(&key.pid).expect("checked above");
-        let reg = proc.circuits.get_mut(&key.cid).expect("checked above");
-        let circuit = reg.instance.take().expect("not loaded, so instance is home");
+        let Some(reg) = procs.get_mut(&key.pid).and_then(|p| p.circuits.get_mut(&key.cid)) else {
+            debug_assert!(false, "registration vanished mid-handler");
+            return FaultResolution::Kill { cycles };
+        };
+        let Some(circuit) = reg.instance.take() else {
+            debug_assert!(false, "unloaded tuple without a home instance");
+            return FaultResolution::Kill { cycles };
+        };
         let evicted = rfu.pfus_mut().load(target, circuit);
         debug_assert!(evicted.is_none(), "target PFU was freed");
         rfu.pfus_mut().set_status(target, reg.status);
         reg.loaded_at = Some(target);
         probe.emit(at, Event::ConfigLoad { key });
+        let full_words = (static_bytes as u64).div_ceil(4) + state_words as u64;
         let load_cost = costs.full_load_cycles(static_bytes, state_words);
-        probe.emit(
-            at,
-            Event::BusTransfer {
-                words: (static_bytes as u64).div_ceil(4) + state_words as u64,
-                cost: load_cost,
-            },
-        );
+        probe.emit(at, Event::BusTransfer { words: full_words, cost: load_cost });
         cycles += load_cost;
+
+        // Transit verification (DESIGN.md §9): when transfers can
+        // corrupt, every load is CRC-checked on arrival and re-driven
+        // (bounded) until it verifies. A transfer still corrupt after
+        // the retry budget stays in place flagged corrupt — the
+        // watchdog path repairs it on first use.
+        if let Some(fu) = faults {
+            if fu.transit_active() {
+                let mut corrupt = fu.transit_corrupts();
+                probe.emit(at, Event::ScrubCheck { pfu: target, corrupt, cost: costs.crc_check });
+                cycles += costs.crc_check;
+                let mut attempt = 0u32;
+                while corrupt && attempt < recovery.max_retries {
+                    attempt += 1;
+                    let cost = costs.retry_load_cycles(static_bytes, state_words, attempt);
+                    probe.emit(
+                        at,
+                        Event::RecoveryRetry { key, pfu: target, attempt, words: full_words, cost },
+                    );
+                    cycles += cost;
+                    corrupt = fu.transit_corrupts();
+                    probe
+                        .emit(at, Event::ScrubCheck { pfu: target, corrupt, cost: costs.crc_check });
+                    cycles += costs.crc_check;
+                }
+                if corrupt {
+                    rfu.pfus_mut().health_mut(target).config_corrupt = true;
+                }
+            }
+        }
+
         self.seq += 1;
         self.load_seq[target] = self.seq;
         self.last_use_seq[target] = self.seq;
@@ -343,6 +458,169 @@ impl Cis {
             &mut self.tlb_hand, rfu.tlb_hw_mut(), key, target as u32, false, costs, probe, at,
         );
         FaultResolution::Reissue { cycles }
+    }
+
+    /// Re-drive `key`'s full configuration into the slot it already
+    /// occupies (a recovery reconfiguration): fresh static frames clear
+    /// any corruption, and the status-register reset restarts the
+    /// interrupted instruction cleanly — a faulty slot never clocked
+    /// it, so no progress is lost. Returns the cycle cost, or `None`
+    /// if the slot was unexpectedly empty.
+    #[allow(clippy::too_many_arguments)]
+    fn reload_in_place(
+        key: TupleKey,
+        pfu: PfuIndex,
+        static_bytes: usize,
+        state_words: usize,
+        rfu: &mut Rfu,
+        costs: &CostModel,
+        probe: &mut Probe,
+        at: u64,
+    ) -> Option<u64> {
+        let attempt = rfu.pfus().health(pfu).retries + 1;
+        rfu.pfus_mut().health_mut(pfu).retries = attempt;
+        let (circuit, _) = rfu.pfus_mut().unload(pfu)?;
+        rfu.pfus_mut().load(pfu, circuit);
+        let cost = costs.retry_load_cycles(static_bytes, state_words, attempt);
+        let words = (static_bytes as u64).div_ceil(4) + state_words as u64;
+        probe.emit(at, Event::RecoveryRetry { key, pfu, attempt, words, cost });
+        Some(cost)
+    }
+
+    /// The DESIGN.md §9 recovery ladder for a tripped PFU watchdog.
+    ///
+    /// Detection charges the burned clocks plus a CRC readback of the
+    /// slot. Corrupt frames (an SEU hit) are repaired in place;
+    /// otherwise the slot takes a hard-fault strike and the ladder
+    /// climbs: bounded retry reconfiguration → software-dispatch
+    /// failover → quarantine-and-relocate, killing the process only
+    /// when every rung is exhausted or disabled.
+    #[allow(clippy::too_many_arguments)]
+    fn recover_pfu_fault(
+        &mut self,
+        key: TupleKey,
+        pfu: PfuIndex,
+        burned: u64,
+        rfu: &mut Rfu,
+        procs: &mut BTreeMap<Pid, Process>,
+        policy: &mut dyn ReplacementPolicy,
+        recovery: &RecoveryPolicy,
+        faults: Option<&mut FaultUnit>,
+        costs: &CostModel,
+        probe: &mut Probe,
+        at: u64,
+        mut cycles: u64,
+    ) -> FaultResolution {
+        // Diagnose: read the slot's frames back. The burned clocks are
+        // real time the faulting issue consumed that never came back
+        // through the coprocessor port, so they are charged (and
+        // attributed to detection) here.
+        let kind = if rfu.pfus().health(pfu).config_corrupt {
+            PfuFaultKind::CrcMismatch
+        } else {
+            PfuFaultKind::Watchdog
+        };
+        let detect = burned + costs.crc_check;
+        probe.emit(at, Event::PfuFault { key, pfu, kind, cost: detect });
+        cycles += detect;
+
+        let Some(reg) = procs.get(&key.pid).and_then(|p| p.circuits.get(&key.cid)) else {
+            return FaultResolution::Kill { cycles };
+        };
+        debug_assert_eq!(reg.loaded_at, Some(pfu), "watchdog names the hosting slot");
+        let static_bytes = reg.static_bytes;
+        let state_words = reg.state_words;
+        let software_alt = reg.software_alt;
+
+        // Rung 0 — SEU repair: corrupt frames explain the hang, and the
+        // damage lives in the configuration SRAM, not the slot. Bounded
+        // by the slot's reconfiguration allowance (`retries` resets on
+        // every completion): under upsets denser than the reload time a
+        // genuinely hung slot re-corrupts before every watchdog trip,
+        // and an unconditional repair would loop here forever without
+        // ever recording a strike.
+        if kind == PfuFaultKind::CrcMismatch
+            && rfu.pfus().health(pfu).retries <= recovery.max_retries
+        {
+            let Some(cost) =
+                Self::reload_in_place(key, pfu, static_bytes, state_words, rfu, costs, probe, at)
+            else {
+                debug_assert!(false, "watchdog tripped on an empty slot");
+                return FaultResolution::Kill { cycles };
+            };
+            return FaultResolution::Reissue { cycles: cycles + cost };
+        }
+
+        // A hard fault: the frames verify but the slot never completes
+        // (stuck `done`, hung circuit) — or repair-in-place keeps
+        // failing to clear the hang. Strike one against the slot.
+        rfu.pfus_mut().health_mut(pfu).fault_count += 1;
+        let health = rfu.pfus().health(pfu);
+
+        // Top rung — quarantine: a persistent offender stops being
+        // allocatable, and the circuit relocates through the normal
+        // placement path (relocation loads are ordinary config-bus
+        // work, charged by the ordinary events).
+        if recovery.quarantine_threshold.is_some_and(|t| health.fault_count >= t) {
+            rfu.pfus_mut().health_mut(pfu).quarantined = true;
+            cycles += self.unload(pfu, rfu, procs, costs, probe, at);
+            probe.emit(at, Event::Quarantine { pfu });
+            // The stuck slot never clocked the instruction; restart it
+            // from scratch on the new home.
+            if let Some(reg) = procs.get_mut(&key.pid).and_then(|p| p.circuits.get_mut(&key.cid)) {
+                reg.status = true;
+            }
+            return self.place_and_load(
+                key, rfu, procs, policy, recovery, faults, costs, probe, at, cycles,
+            );
+        }
+
+        // First rung — bounded blind retries: reconfigure the same slot
+        // in case the hang was transient.
+        if health.retries < recovery.max_retries {
+            let Some(cost) =
+                Self::reload_in_place(key, pfu, static_bytes, state_words, rfu, costs, probe, at)
+            else {
+                debug_assert!(false, "watchdog tripped on an empty slot");
+                return FaultResolution::Kill { cycles };
+            };
+            return FaultResolution::Reissue { cycles: cycles + cost };
+        }
+
+        // Second rung — software failover: abandon the slot and reroute
+        // the tuple through TLB2 (§2's graceful degradation).
+        if recovery.software_failover {
+            if let Some(addr) = software_alt {
+                cycles += self.unload(pfu, rfu, procs, costs, probe, at);
+                if let Some(reg) =
+                    procs.get_mut(&key.pid).and_then(|p| p.circuits.get_mut(&key.cid))
+                {
+                    reg.soft_active = true;
+                    reg.status = true;
+                }
+                let cam = rfu.tlb_sw_mut();
+                let slot = match cam.free_slot() {
+                    Some(s) => s,
+                    None => {
+                        let s = self.tlb_hand % cam.capacity();
+                        self.tlb_hand = (s + 1) % cam.capacity();
+                        s
+                    }
+                };
+                cam.insert(slot, key, addr);
+                // The TLB2 programming is charged through the failover
+                // event so the work lands in the fault-recovery ledger
+                // category rather than routine TLB maintenance.
+                let cost = costs.tlb_program;
+                probe.emit(at, Event::SoftwareFailover { key, pfu, cost });
+                cycles += cost;
+                return FaultResolution::Reissue { cycles };
+            }
+        }
+
+        // Every rung exhausted or disabled (§4.2: "terminate the
+        // process").
+        FaultResolution::Kill { cycles }
     }
 
     /// Process teardown: free its PFUs and purge its TLB entries.
@@ -409,7 +687,7 @@ mod tests {
         let (mut cis, mut rfu, mut procs, mut pol, costs, mut probe) =
             setup(1, 4, DispatchMode::HardwareOnly, None);
         let key = TupleKey::new(1, 0);
-        let res = cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
+        let res = cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &RecoveryPolicy::default(), None, &costs, &mut probe, 0);
         match res {
             FaultResolution::Reissue { cycles } => {
                 assert!(cycles > 13_000, "full 54 KB load, got {cycles}");
@@ -428,8 +706,8 @@ mod tests {
     fn unregistered_cid_kills() {
         let (mut cis, mut rfu, mut procs, mut pol, costs, mut probe) =
             setup(1, 4, DispatchMode::HardwareOnly, None);
-        let res = cis.handle_fault(TupleKey::new(1, 9), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
-        assert_eq!(res, FaultResolution::Kill);
+        let res = cis.handle_fault(TupleKey::new(1, 9), &mut rfu, &mut procs, pol.as_mut(), &RecoveryPolicy::default(), None, &costs, &mut probe, 0);
+        assert!(matches!(res, FaultResolution::Kill { .. }));
     }
 
     #[test]
@@ -437,7 +715,7 @@ mod tests {
         let (mut cis, mut rfu, mut procs, mut pol, costs, mut probe) =
             setup(5, 4, DispatchMode::HardwareOnly, None);
         for pid in 1..=5 {
-            let res = cis.handle_fault(TupleKey::new(pid, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
+            let res = cis.handle_fault(TupleKey::new(pid, 0), &mut rfu, &mut procs, pol.as_mut(), &RecoveryPolicy::default(), None, &costs, &mut probe, 0);
             assert!(matches!(res, FaultResolution::Reissue { .. }));
         }
         assert_eq!(probe.stats().config_loads, 5);
@@ -455,7 +733,7 @@ mod tests {
         let (mut cis, mut rfu, mut procs, mut pol, costs, mut probe) =
             setup(5, 4, DispatchMode::SoftwareFallback, Some(0x4000));
         for pid in 1..=5 {
-            cis.handle_fault(TupleKey::new(pid, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
+            cis.handle_fault(TupleKey::new(pid, 0), &mut rfu, &mut procs, pol.as_mut(), &RecoveryPolicy::default(), None, &costs, &mut probe, 0);
         }
         assert_eq!(probe.stats().config_loads, 4, "only the four free PFUs were filled");
         assert_eq!(probe.stats().evictions, 0);
@@ -472,11 +750,11 @@ mod tests {
         let (mut cis, mut rfu, mut procs, mut pol, costs, mut probe) =
             setup(1, 4, DispatchMode::HardwareOnly, None);
         let key = TupleKey::new(1, 0);
-        cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
+        cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &RecoveryPolicy::default(), None, &costs, &mut probe, 0);
         // Simulate the TLB entry being pushed out while the circuit
         // stays resident.
         rfu.tlb_hw_mut().invalidate(key);
-        let res = cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
+        let res = cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &RecoveryPolicy::default(), None, &costs, &mut probe, 0);
         match res {
             FaultResolution::Reissue { cycles } => {
                 assert!(cycles < 200, "mapping fault must not reload 54 KB, got {cycles}");
@@ -500,9 +778,9 @@ mod tests {
         let costs = CostModel::default();
         let mut probe = Probe::new(256);
 
-        let r1 = cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
+        let r1 = cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &RecoveryPolicy::default(), None, &costs, &mut probe, 0);
         assert!(matches!(r1, FaultResolution::Reissue { cycles } if cycles > 13_000), "first is a full load");
-        match cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0) {
+        match cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &RecoveryPolicy::default(), None, &costs, &mut probe, 0) {
             FaultResolution::Reissue { cycles } => {
                 assert!(cycles < 500, "handover must be a state swap, took {cycles}");
             }
@@ -531,8 +809,8 @@ mod tests {
         let mut pol = PolicyKind::RoundRobin.build();
         let costs = CostModel::default();
         let mut probe = Probe::new(256);
-        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
-        cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
+        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &RecoveryPolicy::default(), None, &costs, &mut probe, 0);
+        cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &RecoveryPolicy::default(), None, &costs, &mut probe, 0);
         assert_eq!(probe.stats().state_swaps, 0);
         assert_eq!(probe.stats().config_loads, 2);
         assert_eq!(probe.stats().evictions, 1, "incompatible images evict as usual");
@@ -542,12 +820,142 @@ mod tests {
     fn release_process_frees_pfus_and_tlbs() {
         let (mut cis, mut rfu, mut procs, mut pol, costs, mut probe) =
             setup(2, 4, DispatchMode::HardwareOnly, None);
-        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
-        cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
+        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &RecoveryPolicy::default(), None, &costs, &mut probe, 0);
+        cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &RecoveryPolicy::default(), None, &costs, &mut probe, 0);
         cis.release_process(1, &mut rfu);
         assert_eq!(rfu.pfus().free_pfus().len(), 3);
         assert_eq!(rfu.tlb_hw().lookup(TupleKey::new(1, 0)), None);
         assert!(rfu.tlb_hw().lookup(TupleKey::new(2, 0)).is_some());
+    }
+
+    fn watchdog_rfu(pfus: usize, wd: u64) -> Rfu {
+        Rfu::new(RfuConfig { pfus, watchdog_cycles: Some(wd), ..RfuConfig::default() })
+    }
+
+    /// Drive one watchdog trip: issue the instruction until the RFU
+    /// reports a fault (the faulty slot burns its watchdog allowance).
+    fn trip(rfu: &mut Rfu, pid: Pid) {
+        assert!(
+            matches!(
+                rfu.exec_custom(pid, 0, 2, 3, 0, 0, 100_000),
+                proteus_cpu::coproc::CoprocResult::Fault
+            ),
+            "expected a watchdog trip"
+        );
+    }
+
+    #[test]
+    fn seu_corruption_is_repaired_in_place() {
+        let (mut cis, _, mut procs, mut pol, costs, mut probe) =
+            setup(1, 4, DispatchMode::HardwareOnly, None);
+        let mut rfu = watchdog_rfu(4, 100);
+        let key = TupleKey::new(1, 0);
+        cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &RecoveryPolicy::default(), None, &costs, &mut probe, 0);
+        let pfu = procs[&1].circuits[&0].loaded_at.expect("loaded");
+
+        // An SEU corrupts the resident frames; the next issue hangs,
+        // the watchdog trips, and the handler repairs in place.
+        rfu.pfus_mut().health_mut(pfu).config_corrupt = true;
+        trip(&mut rfu, 1);
+        let res = cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &RecoveryPolicy::default(), None, &costs, &mut probe, 0);
+        match res {
+            FaultResolution::Reissue { cycles } => {
+                assert!(cycles > 13_000, "repair re-drives the full configuration: {cycles}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(probe.stats().pfu_faults, 1);
+        assert_eq!(probe.stats().crc_errors, 1, "readback attributed the trip to corruption");
+        assert_eq!(probe.stats().recovery_retries, 1);
+        assert_eq!(probe.stats().quarantines, 0);
+        // Recovered: same slot, correct result.
+        assert_eq!(procs[&1].circuits[&0].loaded_at, Some(pfu));
+        assert!(matches!(
+            rfu.exec_custom(1, 0, 2, 3, 0, 0, 100_000),
+            proteus_cpu::coproc::CoprocResult::Done { value: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn stuck_done_escalates_to_quarantine_and_relocation() {
+        let (mut cis, _, mut procs, mut pol, costs, mut probe) =
+            setup(1, 4, DispatchMode::HardwareOnly, None);
+        let mut rfu = watchdog_rfu(4, 100);
+        let recovery =
+            RecoveryPolicy { max_retries: 1, software_failover: false, quarantine_threshold: Some(2) };
+        let key = TupleKey::new(1, 0);
+        cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &recovery, None, &costs, &mut probe, 0);
+        let home = procs[&1].circuits[&0].loaded_at.expect("loaded");
+        rfu.pfus_mut().health_mut(home).stuck_done = true;
+
+        // Trip 1: the blind retry reconfigures the same (still stuck)
+        // slot. Trip 2: strike two, quarantine and relocate.
+        trip(&mut rfu, 1);
+        cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &recovery, None, &costs, &mut probe, 0);
+        assert_eq!(probe.stats().recovery_retries, 1);
+        trip(&mut rfu, 1);
+        let res = cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &recovery, None, &costs, &mut probe, 0);
+        assert!(matches!(res, FaultResolution::Reissue { .. }));
+
+        assert_eq!(probe.stats().quarantines, 1);
+        assert!(rfu.pfus().health(home).quarantined);
+        let new_home = procs[&1].circuits[&0].loaded_at.expect("relocated");
+        assert_ne!(new_home, home, "circuit moved off the quarantined slot");
+        assert!(!rfu.pfus().available_pfus().contains(&home));
+        // Degraded but correct: the instruction completes on the new
+        // home.
+        assert!(matches!(
+            rfu.exec_custom(1, 0, 2, 3, 0, 0, 100_000),
+            proteus_cpu::coproc::CoprocResult::Done { value: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn exhausted_retries_fail_over_to_software() {
+        let (mut cis, _, mut procs, mut pol, costs, mut probe) =
+            setup(1, 1, DispatchMode::HardwareOnly, Some(0x4000));
+        let mut rfu = watchdog_rfu(1, 100);
+        let recovery =
+            RecoveryPolicy { max_retries: 0, software_failover: true, quarantine_threshold: None };
+        let key = TupleKey::new(1, 0);
+        cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &recovery, None, &costs, &mut probe, 0);
+        rfu.pfus_mut().health_mut(0).stuck_done = true;
+
+        trip(&mut rfu, 1);
+        let res = cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &recovery, None, &costs, &mut probe, 0);
+        assert!(matches!(res, FaultResolution::Reissue { .. }));
+        assert_eq!(probe.stats().fault_failovers, 1);
+        assert_eq!(probe.stats().recovery_retries, 0, "retry rung was disabled");
+        assert!(procs[&1].circuits[&0].soft_active);
+        assert!(rfu.pfus().free_pfus().contains(&0), "the abandoned slot was unloaded");
+        // The reissue dispatches through TLB2 to the alternative.
+        assert!(matches!(
+            rfu.exec_custom(1, 0, 2, 3, 0, 0x88, 100_000),
+            proteus_cpu::coproc::CoprocResult::SoftwareDispatch { target: 0x4000, .. }
+        ));
+    }
+
+    #[test]
+    fn retry_only_policy_kills_on_persistent_fault() {
+        let (mut cis, _, mut procs, mut pol, costs, mut probe) =
+            setup(1, 1, DispatchMode::HardwareOnly, Some(0x4000));
+        let mut rfu = watchdog_rfu(1, 100);
+        let recovery = RecoveryPolicy::retry_only(1);
+        let key = TupleKey::new(1, 0);
+        cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &recovery, None, &costs, &mut probe, 0);
+        rfu.pfus_mut().health_mut(0).stuck_done = true;
+
+        trip(&mut rfu, 1);
+        assert!(matches!(
+            cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &recovery, None, &costs, &mut probe, 0),
+            FaultResolution::Reissue { .. }
+        ));
+        trip(&mut rfu, 1);
+        // Retries exhausted, failover disabled: the ladder bottoms out.
+        assert!(matches!(
+            cis.handle_fault(key, &mut rfu, &mut procs, pol.as_mut(), &recovery, None, &costs, &mut probe, 0),
+            FaultResolution::Kill { .. }
+        ));
     }
 
     #[test]
@@ -570,14 +978,14 @@ mod tests {
         let costs = CostModel::default();
         let mut probe = Probe::new(256);
 
-        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
+        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &RecoveryPolicy::default(), None, &costs, &mut probe, 0);
         // Run 4 of 10 cycles, then get interrupted.
         assert!(matches!(
             rfu.exec_custom(1, 0, 20, 22, 0, 0, 4),
             proteus_cpu::coproc::CoprocResult::Interrupted { cycles: 4 }
         ));
         // Process 2 steals the PFU.
-        cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
+        cis.handle_fault(TupleKey::new(2, 0), &mut rfu, &mut procs, pol.as_mut(), &RecoveryPolicy::default(), None, &costs, &mut probe, 0);
         assert!(matches!(
             rfu.exec_custom(2, 0, 1, 1, 0, 0, 1000),
             proteus_cpu::coproc::CoprocResult::Done { value: 2, .. }
@@ -588,7 +996,7 @@ mod tests {
             rfu.exec_custom(1, 0, 20, 22, 0, 0, 1000),
             proteus_cpu::coproc::CoprocResult::Fault
         ));
-        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &costs, &mut probe, 0);
+        cis.handle_fault(TupleKey::new(1, 0), &mut rfu, &mut procs, pol.as_mut(), &RecoveryPolicy::default(), None, &costs, &mut probe, 0);
         assert!(matches!(
             rfu.exec_custom(1, 0, 20, 22, 0, 0, 1000),
             proteus_cpu::coproc::CoprocResult::Done { value: 42, cycles: 6 }

@@ -29,6 +29,14 @@ pub struct CostModel {
     pub save_full_config_on_unload: bool,
     /// System-call entry/exit.
     pub syscall: u64,
+    /// CRC readback of one resident configuration (scrub, load
+    /// verification, or post-watchdog diagnosis): the controller streams
+    /// the frames back and compares per-frame CRCs.
+    pub crc_check: u64,
+    /// Extra delay added per successive recovery retry on the same slot
+    /// (linear backoff: attempt `n` waits `n * retry_backoff` cycles
+    /// before re-driving the bus).
+    pub retry_backoff: u64,
 }
 
 impl Default for CostModel {
@@ -42,6 +50,8 @@ impl Default for CostModel {
             config_overhead: 64,
             save_full_config_on_unload: false,
             syscall: 40,
+            crc_check: 160,
+            retry_backoff: 500,
         }
     }
 }
@@ -52,6 +62,12 @@ impl CostModel {
     pub fn full_load_cycles(&self, static_bytes: usize, state_words: usize) -> u64 {
         let words = (static_bytes as u64).div_ceil(4) + state_words as u64;
         self.config_overhead + words * self.config_word_transfer
+    }
+
+    /// Cycles for recovery reconfiguration attempt `attempt` (1-based):
+    /// a full load plus linear backoff.
+    pub fn retry_load_cycles(&self, static_bytes: usize, state_words: usize, attempt: u32) -> u64 {
+        self.full_load_cycles(static_bytes, state_words) + u64::from(attempt) * self.retry_backoff
     }
 
     /// Cycles to hand a shared configuration between processes: save one

@@ -1,0 +1,235 @@
+//! Kernel-side fault injection and the recovery policy.
+//!
+//! The fabric crate owns the *mechanics* of configuration damage (CRC
+//! frames, bit flips, the seeded [`FaultInjector`]); this module owns
+//! the *campaign plan* — when upsets arrive, which slot is stuck, how
+//! often the kernel scrubs — and the policy ladder the fault handler
+//! climbs: retry → software dispatch → quarantine (DESIGN.md §9).
+
+use proteus_fabric::{FaultConfig, FaultInjector};
+use proteus_rfu::PfuIndex;
+
+/// A deterministic fault-injection plan for one run.
+///
+/// Everything is driven by one seeded RNG, so a plan replays
+/// identically regardless of host parallelism. The default plan
+/// injects nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the injection RNG.
+    pub seed: u64,
+    /// Mean cycles between single-event upsets on the PFU configuration
+    /// SRAM (exponential inter-arrival); 0 disables SEUs.
+    pub seu_mean_cycles: u64,
+    /// Probability that a configuration transfer arrives corrupted and
+    /// fails its load-time CRC verification; 0.0 disables.
+    pub transit_error_rate: f64,
+    /// Force a stuck-at-0 `done` fault on slot `.0` at cycle `.1` — the
+    /// persistent hardware defect the quarantine rung exists for.
+    pub stuck_pfu: Option<(PfuIndex, u64)>,
+    /// Periodic scrub: every this many cycles the kernel reads back the
+    /// CRCs of every resident configuration and repairs corruption
+    /// before it is hit; `None` leaves detection to the watchdog.
+    pub scrub_interval: Option<u64>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 2003,
+            seu_mean_cycles: 0,
+            transit_error_rate: 0.0,
+            stuck_pfu: None,
+            scrub_interval: None,
+        }
+    }
+}
+
+/// How far the kernel goes to keep a faulting custom instruction alive.
+///
+/// The rungs are climbed in order on every hard PFU fault: bounded
+/// retry reconfiguration, then software-dispatch failover, with
+/// quarantine short-circuiting both once a slot proves persistently
+/// faulty. SEU-corrupt configurations are repaired in place (the
+/// damage is in the SRAM, not the slot) — but only within the slot's
+/// reconfiguration allowance; once repairs keep failing to clear the
+/// hang, the fault counts as hard and the ladder escalates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Reconfiguration attempts per slot between completions before
+    /// escalating past the retry rung.
+    pub max_retries: u32,
+    /// Whether the kernel may fail over to a registered software
+    /// alternative (TLB2 dispatch) when retries are exhausted.
+    pub software_failover: bool,
+    /// Quarantine a slot after this many hard faults (`None` = never).
+    pub quarantine_threshold: Option<u32>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self { max_retries: 2, software_failover: true, quarantine_threshold: Some(3) }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Retry-only ladder: reconfigure up to `max_retries` times, then
+    /// give up (no failover, no quarantine).
+    pub fn retry_only(max_retries: u32) -> Self {
+        Self { max_retries, software_failover: false, quarantine_threshold: None }
+    }
+}
+
+/// The kernel's fault-injection unit: drives a [`FaultPlan`] against
+/// the simulated clock.
+///
+/// The kernel polls it at scheduling boundaries; due events (SEU
+/// strikes, the stuck-at onset) are applied to PFU health state, and
+/// the configuration-bus path consults [`FaultUnit::transit_corrupts`]
+/// per transfer.
+#[derive(Debug)]
+pub struct FaultUnit {
+    injector: FaultInjector,
+    plan: FaultPlan,
+    /// Absolute cycle of the next SEU strike.
+    next_seu: Option<u64>,
+    /// Absolute cycle of the next scrub pass.
+    next_scrub: Option<u64>,
+    stuck_applied: bool,
+}
+
+impl FaultUnit {
+    /// A unit executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let mut injector = FaultInjector::new(
+            plan.seed,
+            FaultConfig {
+                seu_mean_cycles: plan.seu_mean_cycles,
+                transit_error_rate: plan.transit_error_rate,
+            },
+        );
+        let next_seu = injector.next_seu_gap();
+        Self { injector, plan, next_seu, next_scrub: plan.scrub_interval, stuck_applied: false }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether configuration transfers can corrupt in transit (the
+    /// load path skips CRC verification entirely when they cannot).
+    pub fn transit_active(&self) -> bool {
+        self.plan.transit_error_rate > 0.0
+    }
+
+    /// Draw whether one configuration transfer arrives corrupted.
+    pub fn transit_corrupts(&mut self) -> bool {
+        self.injector.transit_corrupts()
+    }
+
+    /// Earliest cycle at which something is due (SEU, scrub, or the
+    /// stuck-at onset); `None` when the plan has nothing pending.
+    pub fn next_due(&self) -> Option<u64> {
+        let stuck = match (self.stuck_applied, self.plan.stuck_pfu) {
+            (false, Some((_, at))) => Some(at),
+            _ => None,
+        };
+        [self.next_seu, self.next_scrub, stuck].into_iter().flatten().min()
+    }
+
+    /// Whether a scrub pass is due at `now`; if so, consume it and
+    /// schedule the next. The kernel performs the actual readbacks
+    /// (it owns the cost model and the probe).
+    pub fn take_due_scrub(&mut self, now: u64) -> bool {
+        match (self.next_scrub, self.plan.scrub_interval) {
+            (Some(due), Some(interval)) if due <= now => {
+                // Fixed cadence from the start of the run, skipping any
+                // passes the kernel slept through.
+                let mut next = due;
+                while next <= now {
+                    next += interval;
+                }
+                self.next_scrub = Some(next);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the stuck-at fault fires at `now`; if so, consume it and
+    /// return the slot to damage.
+    pub fn take_due_stuck(&mut self, now: u64) -> Option<PfuIndex> {
+        match self.plan.stuck_pfu {
+            Some((pfu, at)) if !self.stuck_applied && at <= now => {
+                self.stuck_applied = true;
+                Some(pfu)
+            }
+            _ => None,
+        }
+    }
+
+    /// SEU strikes due at `now`: returns the slots struck (one entry
+    /// per strike, drawn uniformly over `pfus` slots) and schedules
+    /// the next arrival.
+    pub fn take_due_seus(&mut self, now: u64, pfus: usize) -> Vec<PfuIndex> {
+        let mut struck = Vec::new();
+        while let Some(due) = self.next_seu {
+            if due > now {
+                break;
+            }
+            struck.push(self.injector.pick(pfus));
+            self.next_seu = self.injector.next_seu_gap().map(|gap| due + gap);
+        }
+        struck
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        let fu = FaultUnit::new(FaultPlan::default());
+        assert_eq!(fu.next_due(), None);
+        assert!(!fu.transit_active());
+    }
+
+    #[test]
+    fn seu_arrivals_are_deterministic_and_advance() {
+        let plan = FaultPlan { seu_mean_cycles: 10_000, ..FaultPlan::default() };
+        let mut a = FaultUnit::new(plan);
+        let mut b = FaultUnit::new(plan);
+        let due = a.next_due().expect("SEUs scheduled");
+        assert_eq!(b.next_due(), Some(due));
+        let hits_a = a.take_due_seus(due + 50_000, 4);
+        let hits_b = b.take_due_seus(due + 50_000, 4);
+        assert_eq!(hits_a, hits_b, "same seed, same strikes");
+        assert!(!hits_a.is_empty());
+        assert!(hits_a.iter().all(|&p| p < 4));
+        assert!(a.next_due().expect("more to come") > due + 50_000);
+    }
+
+    #[test]
+    fn scrub_cadence_skips_missed_passes() {
+        let plan = FaultPlan { scrub_interval: Some(1_000), ..FaultPlan::default() };
+        let mut fu = FaultUnit::new(plan);
+        assert!(fu.take_due_scrub(1_000));
+        assert!(!fu.take_due_scrub(1_500));
+        // Sleeping past several periods yields one pass, rescheduled
+        // beyond `now`.
+        assert!(fu.take_due_scrub(5_700));
+        assert_eq!(fu.next_due(), Some(6_000));
+    }
+
+    #[test]
+    fn stuck_fault_fires_once() {
+        let plan = FaultPlan { stuck_pfu: Some((2, 300)), ..FaultPlan::default() };
+        let mut fu = FaultUnit::new(plan);
+        assert_eq!(fu.take_due_stuck(299), None);
+        assert_eq!(fu.take_due_stuck(300), Some(2));
+        assert_eq!(fu.take_due_stuck(301), None);
+        assert_eq!(fu.next_due(), None);
+    }
+}

@@ -12,6 +12,7 @@ use proteus_rfu::{Rfu, TupleKey};
 
 use crate::cis::{Cis, DispatchMode, FaultResolution};
 use crate::costs::CostModel;
+use crate::fault::{FaultPlan, FaultUnit, RecoveryPolicy};
 use crate::policy::{PolicyKind, ReplacementPolicy};
 use crate::probe::{CycleLedger, Event, EventSink, Probe};
 use crate::process::{CircuitSpec, Pid, ProcState, Process, Registered};
@@ -63,6 +64,12 @@ pub struct KernelConfig {
     /// paper's quanta (1 ms / 10 ms) dwarf the 54 KB load so it never
     /// sees this; the guarantee only matters for aggressive quanta.
     pub post_fault_grace: u64,
+    /// Fault-injection plan (SEU arrivals, transit errors, a stuck
+    /// slot, scrub cadence); `None` simulates a fault-free machine.
+    pub faults: Option<FaultPlan>,
+    /// How far the fault handler goes to keep a faulting custom
+    /// instruction alive (retry → software failover → quarantine).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for KernelConfig {
@@ -76,6 +83,8 @@ impl Default for KernelConfig {
             trace_capacity: 0,
             share_circuits: false,
             post_fault_grace: 2_000,
+            faults: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -219,6 +228,7 @@ pub struct Kernel {
     policy: Box<dyn ReplacementPolicy>,
     probe: Probe,
     quantum_end: u64,
+    faults: Option<FaultUnit>,
 }
 
 impl Kernel {
@@ -226,6 +236,7 @@ impl Kernel {
     pub fn new(config: KernelConfig) -> Self {
         let policy = config.policy.build();
         let probe = Probe::new(config.trace_capacity);
+        let faults = config.faults.map(FaultUnit::new);
         Self {
             config,
             procs: BTreeMap::new(),
@@ -236,6 +247,7 @@ impl Kernel {
             policy,
             probe,
             quantum_end: 0,
+            faults,
         }
     }
 
@@ -353,7 +365,11 @@ impl Kernel {
     }
 
     fn restore(&mut self, pid: Pid, cpu: &mut Cpu, rfu: &mut Rfu) {
-        let p = self.procs.get(&pid).expect("restoring a known process");
+        let Some(p) = self.procs.get(&pid) else {
+            // The ready queue only ever holds spawned PIDs.
+            debug_assert!(false, "restoring unknown process {pid}");
+            return;
+        };
         cpu.restore_context(&p.ctx);
         rfu.regs_mut().restore(p.rfu_regs);
         for i in 0..5u8 {
@@ -390,6 +406,80 @@ impl Kernel {
             counters.hw_dispatches,
             counters.sw_dispatches,
         );
+    }
+
+    /// Apply every environmental fault due at the current clock: the
+    /// stuck-at onset, SEU strikes on configuration SRAM, and periodic
+    /// scrub passes. No-op without a fault plan.
+    fn service_faults(&mut self, cpu: &mut Cpu, rfu: &mut Rfu) {
+        let Some(fu) = self.faults.as_mut() else { return };
+        let now = cpu.cycles();
+        if let Some(pfu) = fu.take_due_stuck(now) {
+            if pfu < rfu.pfus().len() {
+                rfu.pfus_mut().health_mut(pfu).stuck_done = true;
+            }
+        }
+        for pfu in fu.take_due_seus(now, rfu.pfus().len()) {
+            self.probe.emit(now, Event::SeuStrike { pfu });
+            // A strike on an empty slot damages SRAM the next load
+            // rewrites anyway; only resident configurations suffer.
+            if rfu.pfus().is_loaded(pfu) {
+                rfu.pfus_mut().health_mut(pfu).config_corrupt = true;
+            }
+        }
+        if fu.take_due_scrub(now) {
+            self.scrub(cpu, rfu);
+        }
+    }
+
+    /// One scrub pass (DESIGN.md §9): CRC-read every resident
+    /// configuration and repair corrupt frames before dispatch hits
+    /// them. Detection and repair advance the simulated clock.
+    fn scrub(&mut self, cpu: &mut Cpu, rfu: &mut Rfu) {
+        let owners: Vec<Option<TupleKey>> = match self.cis.as_ref() {
+            Some(cis) => cis.pfu_owners().to_vec(),
+            None => return,
+        };
+        for (pfu, owner) in owners.iter().enumerate() {
+            if !rfu.pfus().is_loaded(pfu) {
+                continue;
+            }
+            let corrupt = rfu.pfus().health(pfu).config_corrupt;
+            let cost = self.config.costs.crc_check;
+            cpu.add_cycles(cost);
+            self.probe.emit(cpu.cycles(), Event::ScrubCheck { pfu, corrupt, cost });
+            if !corrupt {
+                continue;
+            }
+            // Repair by re-driving the configuration; transfer sizes
+            // come from the owner's registration record.
+            let Some(key) = *owner else { continue };
+            // Repairs share the slot's reconfiguration allowance
+            // (`retries`, reset on every completion) with the fault
+            // handler's rung 0: under upsets denser than the reload
+            // time an unconditional scrubber re-repairs at every
+            // scheduling boundary and starves execution outright.
+            // Beyond the allowance the corruption is left in place for
+            // the dispatch-time ladder to escalate on.
+            if rfu.pfus().health(pfu).retries > self.config.recovery.max_retries {
+                continue;
+            }
+            let Some(reg) = self.procs.get(&key.pid).and_then(|p| p.circuits.get(&key.cid))
+            else {
+                continue;
+            };
+            let (static_bytes, state_words) = (reg.static_bytes, reg.state_words);
+            let attempt = rfu.pfus().health(pfu).retries + 1;
+            rfu.pfus_mut().health_mut(pfu).retries = attempt;
+            if let Some((circuit, _)) = rfu.pfus_mut().unload(pfu) {
+                rfu.pfus_mut().load(pfu, circuit);
+                let cost = self.config.costs.retry_load_cycles(static_bytes, state_words, attempt);
+                let words = (static_bytes as u64).div_ceil(4) + state_words as u64;
+                cpu.add_cycles(cost);
+                self.probe
+                    .emit(cpu.cycles(), Event::RecoveryRetry { key, pfu, attempt, words, cost });
+            }
+        }
     }
 
     /// Timer-driven pre-emption: rotate the ready queue.
@@ -557,13 +647,30 @@ impl Kernel {
             if cpu.cycles() >= cycle_limit {
                 return Err(KernelError::CycleLimit { cycles: cpu.cycles(), live: self.live_count() });
             }
-            let until = self.quantum_end.min(cycle_limit).min(stop_cycle);
+            self.service_faults(cpu, rfu);
+            let natural = self.quantum_end.min(cycle_limit).min(stop_cycle);
+            // Injected faults land at their exact cycle: cap the run at
+            // the next due event and resume without preempting.
+            let until = match self.faults.as_ref().and_then(FaultUnit::next_due) {
+                Some(due) => natural.min(due.max(cpu.cycles() + 1)),
+                None => natural,
+            };
             let span_start = cpu.cycles();
-            let stop = {
-                let p = self.procs.get_mut(&pid).expect("current process exists");
-                cpu.run(&mut p.mem, rfu, until)
+            let stop = match self.procs.get_mut(&pid) {
+                Some(p) => cpu.run(&mut p.mem, rfu, until),
+                None => {
+                    // `current` always names a spawned process.
+                    debug_assert!(false, "current process {pid} missing from the table");
+                    self.current = None;
+                    continue;
+                }
             };
             self.attribute_span(pid, span_start, cpu, rfu);
+            if matches!(stop, Stop::Quantum) && until < natural && cpu.cycles() < natural {
+                // Stopped at a fault-injection boundary, not the
+                // quantum's end; the loop top applies what is due.
+                continue;
+            }
             match stop {
                 Stop::Quantum => {
                     if cpu.cycles() >= cycle_limit && self.live_count() > 0 {
@@ -577,12 +684,19 @@ impl Kernel {
                 Stop::Swi { imm } => self.syscall(imm, cpu, rfu),
                 Stop::CustomFault { cid, .. } => {
                     let key = TupleKey::new(pid, cid);
-                    let cis = self.cis.as_mut().expect("created above");
+                    let Some(cis) = self.cis.as_mut() else {
+                        // Created at function entry; cannot be absent.
+                        debug_assert!(false, "CIS missing during dispatch");
+                        self.terminate(ProcState::Killed, cpu, rfu);
+                        continue;
+                    };
                     let resolution = cis.handle_fault(
                         key,
                         rfu,
                         &mut self.procs,
                         self.policy.as_mut(),
+                        &self.config.recovery,
+                        self.faults.as_mut(),
                         &self.config.costs,
                         &mut self.probe,
                         cpu.cycles(),
@@ -594,11 +708,12 @@ impl Kernel {
                             self.quantum_end =
                                 self.quantum_end.max(cpu.cycles() + self.config.post_fault_grace);
                         }
-                        FaultResolution::Kill => {
-                            // The handler ran far enough to reject the
-                            // request; charge its entry/exit so the
-                            // emitted Fault cost stays conserved.
-                            cpu.add_cycles(self.config.costs.fault_entry);
+                        FaultResolution::Kill { cycles } => {
+                            // Charge everything the handler did before
+                            // reaching the verdict (entry, diagnosis,
+                            // failed retries) so every cost it emitted
+                            // stays conserved.
+                            cpu.add_cycles(cycles);
                             self.terminate(ProcState::Killed, cpu, rfu);
                         }
                     }

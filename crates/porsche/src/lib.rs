@@ -53,8 +53,12 @@
 //! # }
 //! ```
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cis;
 pub mod costs;
+pub mod fault;
 pub mod kernel;
 pub mod policy;
 pub mod probe;
@@ -64,6 +68,7 @@ pub mod trace;
 
 pub use cis::DispatchMode;
 pub use costs::CostModel;
+pub use fault::{FaultPlan, FaultUnit, RecoveryPolicy};
 pub use kernel::{Kernel, KernelConfig, KernelError, RunReport, SpawnSpec};
 pub use policy::{PolicyKind, PolicyView, ReplacementPolicy};
 pub use probe::{CycleLedger, Event, EventSink, Probe};

@@ -169,9 +169,9 @@ impl ReplacementPolicy for LruPolicy {
     }
 
     fn select_victim(&mut self, view: &PolicyView<'_>) -> usize {
-        (0..view.occupied.len())
-            .min_by_key(|&i| view.last_use_seq[i])
-            .expect("at least one PFU")
+        // PfuArray::new rejects zero-sized arrays, so the range is
+        // never empty.
+        (0..view.occupied.len()).min_by_key(|&i| view.last_use_seq[i]).unwrap_or(0)
     }
 }
 
@@ -226,9 +226,9 @@ impl ReplacementPolicy for FifoPolicy {
     }
 
     fn select_victim(&mut self, view: &PolicyView<'_>) -> usize {
-        (0..view.occupied.len())
-            .min_by_key(|&i| view.load_seq[i])
-            .expect("at least one PFU")
+        // PfuArray::new rejects zero-sized arrays, so the range is
+        // never empty.
+        (0..view.occupied.len()).min_by_key(|&i| view.load_seq[i]).unwrap_or(0)
     }
 }
 

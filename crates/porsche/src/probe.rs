@@ -147,6 +147,91 @@ pub enum Event {
         /// The process.
         pid: Pid,
     },
+    /// A single-event upset struck a PFU's configuration SRAM
+    /// (zero-cost environmental marker; detection and repair are
+    /// charged by their own events).
+    SeuStrike {
+        /// The struck PFU slot.
+        pfu: usize,
+    },
+    /// A PFU fault was detected (watchdog trip). `cost` carries the
+    /// cycles the slot burned before detection plus the readback check —
+    /// cycles the faulting issue consumed but never reported through
+    /// the coprocessor port.
+    PfuFault {
+        /// The faulting tuple.
+        key: TupleKey,
+        /// The faulty PFU slot.
+        pfu: usize,
+        /// What the readback found.
+        kind: PfuFaultKind,
+        /// Detection cycles (burned clocks + CRC readback).
+        cost: u64,
+    },
+    /// A CRC readback of a resident configuration (periodic scrub, or
+    /// verification of a just-transferred bitstream).
+    ScrubCheck {
+        /// The checked PFU slot.
+        pfu: usize,
+        /// Whether the frames failed their CRCs.
+        corrupt: bool,
+        /// Readback/compare cycles.
+        cost: u64,
+    },
+    /// A recovery reconfiguration: the configuration was pushed across
+    /// the bus again (SEU repair, transit-error retry, or blind retry
+    /// of an unresponsive slot), with backoff included in `cost`.
+    RecoveryRetry {
+        /// The tuple being repaired.
+        key: TupleKey,
+        /// The target PFU slot.
+        pfu: usize,
+        /// Retry attempt number (1-based) since the last completion.
+        attempt: u32,
+        /// Words re-transferred.
+        words: u64,
+        /// Bus + backoff cycles.
+        cost: u64,
+    },
+    /// Recovery fell back to the registered software alternative: the
+    /// tuple now dispatches through TLB2 (the paper's §3 graceful-
+    /// degradation path). `cost` covers the TLB reprogramming.
+    SoftwareFailover {
+        /// The tuple rerouted to software.
+        key: TupleKey,
+        /// The PFU abandoned by the failover.
+        pfu: usize,
+        /// TLB reprogramming cycles.
+        cost: u64,
+    },
+    /// A persistently-faulty PFU was quarantined: placement and
+    /// replacement stop allocating it (zero-cost marker; any relocation
+    /// load is charged by the normal configuration-bus events).
+    Quarantine {
+        /// The quarantined PFU slot.
+        pfu: usize,
+    },
+}
+
+/// What a PFU fault detection attributed the failure to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PfuFaultKind {
+    /// The slot clocked past its watchdog allowance without `done` and
+    /// readback found the static frames intact (hung or stuck circuit).
+    Watchdog,
+    /// Readback found corrupt static frames (an SEU hit the resident
+    /// configuration).
+    CrcMismatch,
+}
+
+impl PfuFaultKind {
+    /// Stable lower-case name (traces, JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            PfuFaultKind::Watchdog => "watchdog",
+            PfuFaultKind::CrcMismatch => "crc_mismatch",
+        }
+    }
 }
 
 impl fmt::Display for Event {
@@ -178,6 +263,20 @@ impl fmt::Display for Event {
             Event::Idle { cycles } => write!(f, "idle {cycles}"),
             Event::Exit { pid, code } => write!(f, "exit pid={pid} code={code}"),
             Event::Kill { pid } => write!(f, "kill pid={pid}"),
+            Event::SeuStrike { pfu } => write!(f, "seu pfu={pfu}"),
+            Event::PfuFault { key, pfu, kind, .. } => {
+                write!(f, "pfu-fault[{}] pfu={pfu} ({}, {})", kind.name(), key.pid, key.cid)
+            }
+            Event::ScrubCheck { pfu, corrupt, .. } => {
+                write!(f, "scrub pfu={pfu}{}", if *corrupt { " corrupt" } else { " clean" })
+            }
+            Event::RecoveryRetry { key, pfu, attempt, .. } => {
+                write!(f, "retry#{attempt} pfu={pfu} ({}, {})", key.pid, key.cid)
+            }
+            Event::SoftwareFailover { key, pfu, .. } => {
+                write!(f, "failover pfu={pfu} ({}, {})", key.pid, key.cid)
+            }
+            Event::Quarantine { pfu } => write!(f, "quarantine pfu={pfu}"),
         }
     }
 }
@@ -227,6 +326,25 @@ impl Event {
             Event::Idle { cycles } => format!("\"kind\":\"idle\",\"cycles\":{cycles}"),
             Event::Exit { pid, code } => format!("\"kind\":\"exit\",\"pid\":{pid},\"code\":{code}"),
             Event::Kill { pid } => format!("\"kind\":\"kill\",\"pid\":{pid}"),
+            Event::SeuStrike { pfu } => format!("\"kind\":\"seu_strike\",\"pfu\":{pfu}"),
+            Event::PfuFault { key, pfu, kind, cost } => format!(
+                "\"kind\":\"pfu_fault\",{},\"pfu\":{pfu},\"fault\":\"{}\",\"cost\":{cost}",
+                key_fields(key),
+                kind.name()
+            ),
+            Event::ScrubCheck { pfu, corrupt, cost } => format!(
+                "\"kind\":\"scrub_check\",\"pfu\":{pfu},\"corrupt\":{corrupt},\"cost\":{cost}"
+            ),
+            Event::RecoveryRetry { key, pfu, attempt, words, cost } => format!(
+                "\"kind\":\"recovery_retry\",{},\"pfu\":{pfu},\"attempt\":{attempt},\
+                 \"words\":{words},\"cost\":{cost}",
+                key_fields(key)
+            ),
+            Event::SoftwareFailover { key, pfu, cost } => format!(
+                "\"kind\":\"software_failover\",{},\"pfu\":{pfu},\"cost\":{cost}",
+                key_fields(key)
+            ),
+            Event::Quarantine { pfu } => format!("\"kind\":\"quarantine\",\"pfu\":{pfu}"),
         };
         format!("{{\"cycle\":{at},{body}}}")
     }
@@ -262,6 +380,12 @@ pub struct CycleLedger {
     pub config_bus: u64,
     /// System-call entry/exit.
     pub syscall: u64,
+    /// Fault detection: cycles burned by a slot before its watchdog
+    /// tripped, plus CRC readback/scrub checks.
+    pub fault_detection: u64,
+    /// Fault recovery: retry reconfigurations (with backoff) and
+    /// software-failover TLB reprogramming.
+    pub fault_recovery: u64,
     /// Idle waiting for work.
     pub idle: u64,
 }
@@ -269,7 +393,7 @@ pub struct CycleLedger {
 impl CycleLedger {
     /// Category names, in the order [`CycleLedger::values`] returns them
     /// (also the CSV column order).
-    pub const CATEGORIES: [&'static str; 9] = [
+    pub const CATEGORIES: [&'static str; 11] = [
         "user_compute",
         "custom_execute",
         "soft_dispatch",
@@ -278,11 +402,13 @@ impl CycleLedger {
         "tlb_programming",
         "config_bus",
         "syscall",
+        "fault_detection",
+        "fault_recovery",
         "idle",
     ];
 
     /// Category values in [`CycleLedger::CATEGORIES`] order.
-    pub fn values(&self) -> [u64; 9] {
+    pub fn values(&self) -> [u64; 11] {
         [
             self.user_compute,
             self.custom_execute,
@@ -292,6 +418,8 @@ impl CycleLedger {
             self.tlb_programming,
             self.config_bus,
             self.syscall,
+            self.fault_detection,
+            self.fault_recovery,
             self.idle,
         ]
     }
@@ -311,6 +439,8 @@ impl CycleLedger {
             + self.tlb_programming
             + self.config_bus
             + self.syscall
+            + self.fault_detection
+            + self.fault_recovery
     }
 
     /// Merge another ledger into this one.
@@ -323,6 +453,8 @@ impl CycleLedger {
         self.tlb_programming += other.tlb_programming;
         self.config_bus += other.config_bus;
         self.syscall += other.syscall;
+        self.fault_detection += other.fault_detection;
+        self.fault_recovery += other.fault_recovery;
         self.idle += other.idle;
     }
 
@@ -352,6 +484,12 @@ impl EventSink for CycleLedger {
             Event::TlbProgram { cost, .. } => self.tlb_programming += cost,
             Event::BusTransfer { cost, .. } => self.config_bus += cost,
             Event::Syscall { cost, .. } => self.syscall += cost,
+            Event::PfuFault { cost, .. } | Event::ScrubCheck { cost, .. } => {
+                self.fault_detection += cost;
+            }
+            Event::RecoveryRetry { cost, .. } | Event::SoftwareFailover { cost, .. } => {
+                self.fault_recovery += cost;
+            }
             Event::Idle { cycles } => self.idle += cycles,
             Event::Spawn { .. }
             | Event::MappingRepair { .. }
@@ -360,7 +498,9 @@ impl EventSink for CycleLedger {
             | Event::StateSwap { .. }
             | Event::SoftwareInstall { .. }
             | Event::Exit { .. }
-            | Event::Kill { .. } => {}
+            | Event::Kill { .. }
+            | Event::SeuStrike { .. }
+            | Event::Quarantine { .. } => {}
         }
     }
 }
@@ -511,6 +651,34 @@ mod tests {
         assert_eq!(s.syscalls, 1);
 
         assert_eq!(probe.trace().len(), 8);
+    }
+
+    #[test]
+    fn fault_events_fold_into_their_own_categories() {
+        let mut probe = Probe::new(16);
+        let key = TupleKey::new(2, 1);
+        probe.emit(5, Event::SeuStrike { pfu: 1 });
+        probe.emit(9, Event::PfuFault { key, pfu: 1, kind: PfuFaultKind::CrcMismatch, cost: 250 });
+        probe.emit(9, Event::RecoveryRetry { key, pfu: 1, attempt: 1, words: 13_500, cost: 13_600 });
+        probe.emit(20, Event::ScrubCheck { pfu: 0, corrupt: false, cost: 30 });
+        probe.emit(33, Event::PfuFault { key, pfu: 2, kind: PfuFaultKind::Watchdog, cost: 400 });
+        probe.emit(33, Event::SoftwareFailover { key, pfu: 2, cost: 12 });
+        probe.emit(40, Event::Quarantine { pfu: 2 });
+
+        let l = probe.ledger();
+        assert_eq!(l.fault_detection, 250 + 30 + 400);
+        assert_eq!(l.fault_recovery, 13_600 + 12);
+        assert_eq!(l.total(), 250 + 30 + 400 + 13_600 + 12);
+        assert_eq!(l.management(), l.total(), "fault work is management overhead");
+
+        let s = probe.stats();
+        assert_eq!(s.seu_strikes, 1);
+        assert_eq!(s.pfu_faults, 2);
+        assert_eq!(s.crc_errors, 1, "only the CRC-mismatch trip counts");
+        assert_eq!(s.recovery_retries, 1);
+        assert_eq!(s.config_words_moved, 13_500, "retries are bus traffic");
+        assert_eq!(s.fault_failovers, 1);
+        assert_eq!(s.quarantines, 1);
     }
 
     #[test]

@@ -37,6 +37,19 @@ pub struct KernelStats {
     pub syscalls: u64,
     /// Processes killed by the kernel.
     pub kills: u64,
+    /// Single-event upsets that struck PFU configuration SRAM.
+    pub seu_strikes: u64,
+    /// PFU faults detected (watchdog trips, whatever readback found).
+    pub pfu_faults: u64,
+    /// CRC readbacks that found corrupt static frames (scrub, load
+    /// verification, or post-trip diagnosis).
+    pub crc_errors: u64,
+    /// Recovery reconfigurations pushed across the bus.
+    pub recovery_retries: u64,
+    /// Faults resolved by failing over to the software alternative.
+    pub fault_failovers: u64,
+    /// PFUs quarantined as persistently faulty.
+    pub quarantines: u64,
 }
 
 impl KernelStats {
@@ -61,6 +74,22 @@ impl EventSink for KernelStats {
             Event::BusTransfer { words, .. } => self.config_words_moved += words,
             Event::Syscall { .. } => self.syscalls += 1,
             Event::Kill { .. } => self.kills += 1,
+            Event::SeuStrike { .. } => self.seu_strikes += 1,
+            Event::PfuFault { kind, .. } => {
+                self.pfu_faults += 1;
+                if kind == crate::probe::PfuFaultKind::CrcMismatch {
+                    self.crc_errors += 1;
+                }
+            }
+            Event::ScrubCheck { corrupt, .. } => self.crc_errors += u64::from(corrupt),
+            Event::RecoveryRetry { words, .. } => {
+                self.recovery_retries += 1;
+                // Retries are real bus traffic, so they count toward
+                // the words-moved total like any other transfer.
+                self.config_words_moved += words;
+            }
+            Event::SoftwareFailover { .. } => self.fault_failovers += 1,
+            Event::Quarantine { .. } => self.quarantines += 1,
             Event::Spawn { .. }
             | Event::Compute { .. }
             | Event::Idle { .. }

@@ -15,6 +15,7 @@
 //! | A7   | software-dispatch crossover vs. quantum | [`ablation_soft_crossover_plan`] |
 //! | A8   | circuit sharing on/off | [`ablation_sharing_plan`] |
 //! | D1   | dynamic arrival loads (§6 future work) | [`dynamic_load_plan`] |
+//! | F1   | fault-injection campaign (DESIGN.md §9) | [`fault_campaign_plan`] |
 //!
 //! Each generator *describes* its figure as an
 //! [`ExperimentPlan`](crate::runner::ExperimentPlan): one
@@ -33,6 +34,7 @@
 
 use porsche::cis::DispatchMode;
 use porsche::costs::CostModel;
+use porsche::fault::{FaultPlan, RecoveryPolicy};
 use porsche::kernel::{KernelConfig, SpawnSpec};
 use porsche::policy::PolicyKind;
 use porsche::process::CircuitSpec;
@@ -108,6 +110,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "soft-crossover",
     "sharing",
     "dynamic",
+    "faults",
 ];
 
 /// Look up an experiment plan by its `repro` name.
@@ -125,6 +128,7 @@ pub fn plan_for(name: &str, scale: &Scale) -> Option<ExperimentPlan> {
         "soft-crossover" => ablation_soft_crossover_plan(scale),
         "sharing" => ablation_sharing_plan(scale),
         "dynamic" => dynamic_load_plan(scale),
+        "faults" => fault_campaign_plan(scale),
         _ => return None,
     })
 }
@@ -506,6 +510,143 @@ pub fn dynamic_load(scale: &Scale) -> SeriesSet {
     dynamic_load_plan(scale).execute(1).0
 }
 
+/// Outcome codes for one fault-campaign cell (the y values of the
+/// `outcome:` series and the x values of `outcome_counts`).
+pub mod outcome {
+    /// No fault ever reached the run.
+    pub const CLEAN: f64 = 0.0;
+    /// Faults occurred; retries/scrub repaired everything and all
+    /// checksums match at full hardware throughput.
+    pub const RECOVERED: f64 = 1.0;
+    /// All checksums match, but the run finished degraded — software
+    /// failover or a quarantined slot.
+    pub const DEGRADED: f64 = 2.0;
+    /// At least one process was killed or produced a wrong checksum.
+    pub const FAILED: f64 = 3.0;
+}
+
+/// **F1 — fault-injection campaign (DESIGN.md §9).** Five Alpha
+/// instances contend on four PFUs (so configuration traffic is
+/// sustained, giving every fault kind a surface) while the fault unit
+/// injects one kind at three severities under three recovery policies:
+///
+/// * kinds — `seu` (configuration-SRAM upsets, mean inter-arrival
+///   shrinking 4× per severity step), `transit` (per-transfer
+///   corruption probability 0.1/0.3/0.6), `stuck` (slot 0's `done`
+///   line sticks at cycle `target >> (severity-1)` — earlier is worse);
+/// * policies — `retry` ([`RecoveryPolicy::retry_only`]; hard faults
+///   eventually kill), `failover` (one retry then software dispatch,
+///   never quarantine), `full` (the default ladder plus periodic
+///   scrubbing).
+///
+/// Each cell emits its makespan on `"{kind}, {policy}"`, an
+/// [`outcome`] code on `"outcome: {kind}, {policy}"`, the
+/// fault-attributed cycles on `"recovery_cycles: {kind}, {policy}"`,
+/// and a cycle-attribution row (the `fault_detection` /
+/// `fault_recovery` ledger columns). A fault-free `baseline` cell
+/// (watchdog armed, injector off) pins the zero-overhead point, and a
+/// finish pass folds every outcome code into `outcome_counts`
+/// (x = code, y = cells).
+pub fn fault_campaign_plan(scale: &Scale) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new("fault_campaign");
+    let (size, passes) = scale.sizing(AppKind::Alpha);
+    let target = scale.target_cycles;
+    let base = move || {
+        Scenario::new(AppKind::Alpha)
+            .instances(5)
+            .size(size)
+            .passes(passes)
+            .quantum(QUANTUM_1MS)
+            .policy(PolicyKind::RoundRobin)
+            .pfus(4)
+            .software_alts()
+            .watchdog(5_000)
+    };
+
+    fault_campaign_cell(&mut plan, "baseline".into(), 0.0, base());
+
+    let policies: [(&str, RecoveryPolicy, bool); 3] = [
+        ("retry", RecoveryPolicy::retry_only(2), false),
+        (
+            "failover",
+            RecoveryPolicy { max_retries: 1, software_failover: true, quarantine_threshold: None },
+            false,
+        ),
+        ("full", RecoveryPolicy::default(), true),
+    ];
+    for (pname, policy, scrub) in policies {
+        for kind in ["seu", "transit", "stuck"] {
+            for severity in 1u32..=3 {
+                let mut fp = FaultPlan {
+                    seed: scale.seed + u64::from(severity),
+                    ..FaultPlan::default()
+                };
+                match kind {
+                    "seu" => fp.seu_mean_cycles = (target >> (2 * (severity - 1))).max(1),
+                    "transit" => fp.transit_error_rate = [0.1, 0.3, 0.6][severity as usize - 1],
+                    _ => fp.stuck_pfu = Some((0, target >> (severity - 1))),
+                }
+                if scrub {
+                    fp.scrub_interval = Some((target / 8).max(1));
+                }
+                fault_campaign_cell(
+                    &mut plan,
+                    format!("{kind}, {pname}"),
+                    f64::from(severity),
+                    base().faults(fp).recovery(policy),
+                );
+            }
+        }
+    }
+
+    plan.with_finish(|set| {
+        let mut counts = [0u64; 4];
+        for s in set.series.iter().filter(|s| s.name.starts_with("outcome: ")) {
+            for p in &s.points {
+                counts[(p.y as usize).min(3)] += 1;
+            }
+        }
+        let mut summary = Series::new("outcome_counts");
+        for (code, &n) in counts.iter().enumerate() {
+            summary.push(code as f64, n as f64);
+        }
+        set.push(summary);
+    })
+}
+
+/// One campaign simulation: makespan on `series`, outcome and
+/// fault-cycle overhead on sibling series. Unlike the figure jobs a
+/// cell does *not* assert validity — failures are data here (the
+/// [`outcome::FAILED`] row), only simulation errors panic.
+fn fault_campaign_cell(plan: &mut ExperimentPlan, series: String, x: f64, scenario: Scenario) {
+    let label = series.clone();
+    let outcome_series = format!("outcome: {label}");
+    let overhead_series = format!("recovery_cycles: {label}");
+    plan.push_job(series, move || {
+        let result = scenario.run().unwrap_or_else(|e| panic!("{label} x={x}: {e}"));
+        let s = &result.stats;
+        let code = if !result.valid {
+            outcome::FAILED
+        } else if s.fault_failovers > 0 || s.quarantines > 0 {
+            outcome::DEGRADED
+        } else if s.pfu_faults > 0 || s.crc_errors > 0 || s.recovery_retries > 0 {
+            outcome::RECOVERED
+        } else {
+            outcome::CLEAN
+        };
+        let overhead = result.ledger.fault_detection + result.ledger.fault_recovery;
+        JobOutput::point(x, result.makespan as f64, result.makespan)
+            .with_breakdown(x, result.total_cycles, result.ledger)
+            .with_extra(outcome_series, x, code)
+            .with_extra(overhead_series, x, overhead as f64)
+    });
+}
+
+/// Serial wrapper over [`fault_campaign_plan`].
+pub fn fault_campaign(scale: &Scale) -> SeriesSet {
+    fault_campaign_plan(scale).execute(1).0
+}
+
 /// **A6 — interruptible long instructions (§4.4).** A synthetic process
 /// loops on a 50 000-cycle custom instruction. With the status-register
 /// mechanism the scheduler preempts on time; with uninterruptible
@@ -559,6 +700,7 @@ pub fn ablation_long_instructions_plan() -> ExperimentPlan {
                 points: vec![(0.0, overshoot as f64), (1.0, report.makespan as f64)],
                 sim_cycles: report.makespan,
                 breakdown: vec![(0.0, machine.cycles(), report.ledger)],
+                extra: Vec::new(),
             }
         });
     }
@@ -636,6 +778,27 @@ mod tests {
         assert_eq!(m1.breakdown, m4.breakdown);
         assert_eq!(m1.breakdown.to_csv(), m4.breakdown.to_csv());
         assert_eq!(m1.breakdown.rows.len(), m1.jobs, "one row per scenario job");
+    }
+
+    #[test]
+    fn fault_campaign_emits_every_cell_with_outcomes() {
+        let set = fault_campaign(&tiny());
+        // 1 baseline + 9 grid series, each with outcome + overhead
+        // siblings, plus the outcome_counts summary.
+        assert_eq!(set.series.len(), 31, "{:?}", series_names(&set));
+        let counts = set.series_named("outcome_counts").expect("summary");
+        assert_eq!(counts.points.len(), 4);
+        let cells: f64 = counts.points.iter().map(|p| p.y).sum();
+        assert!((cells - 28.0).abs() < 1e-9, "28 cells counted, got {cells}");
+        // The baseline saw no faults at all.
+        let baseline = set.series_named("outcome: baseline").expect("baseline outcome");
+        assert_eq!(baseline.points[0].y, outcome::CLEAN);
+        let overhead = set.series_named("recovery_cycles: baseline").expect("baseline overhead");
+        assert_eq!(overhead.points[0].y, 0.0);
+    }
+
+    fn series_names(set: &SeriesSet) -> Vec<&str> {
+        set.series.iter().map(|s| s.name.as_str()).collect()
     }
 
     #[test]

@@ -28,7 +28,7 @@
 
 use std::panic;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use porsche::probe::CycleLedger;
@@ -46,18 +46,31 @@ pub struct JobOutput {
     /// `(x, total_cycles, ledger)` cycle-attribution rows appended to the
     /// plan's [`BreakdownSet`], in order.
     pub breakdown: Vec<(f64, u64, CycleLedger)>,
+    /// `(series, x, y)` points appended to *other* named series — for
+    /// jobs whose one simulation yields several metrics (the fault
+    /// campaign emits makespan on its own series plus an outcome code
+    /// on a sibling). Extra series obey the same first-mention ordering
+    /// as job series, so determinism is unaffected.
+    pub extra: Vec<(String, f64, f64)>,
 }
 
 impl JobOutput {
     /// The common case: one `(x, y)` point, no breakdown.
     pub fn point(x: f64, y: f64, sim_cycles: u64) -> Self {
-        Self { points: vec![(x, y)], sim_cycles, breakdown: Vec::new() }
+        Self { points: vec![(x, y)], sim_cycles, breakdown: Vec::new(), extra: Vec::new() }
     }
 
     /// Attach a cycle-attribution row for `x`.
     #[must_use]
     pub fn with_breakdown(mut self, x: f64, total: u64, ledger: CycleLedger) -> Self {
         self.breakdown.push((x, total, ledger));
+        self
+    }
+
+    /// Attach a point on a different series than the job's own.
+    #[must_use]
+    pub fn with_extra(mut self, series: impl Into<String>, x: f64, y: f64) -> Self {
+        self.extra.push((series.into(), x, y));
         self
     }
 }
@@ -233,14 +246,23 @@ impl ExperimentPlan {
                             if i >= n {
                                 break;
                             }
+                            // A poisoned slot lock only means another
+                            // worker panicked mid-`take`; the closure
+                            // itself runs outside the lock, so the data
+                            // is still sound to claim.
                             let run = runs[i]
                                 .lock()
-                                .expect("job slot lock")
-                                .take()
-                                .expect("each job taken once");
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .take();
+                            let Some(run) = run else {
+                                // The fetch_add ticket hands out each
+                                // index exactly once.
+                                debug_assert!(false, "job {i} claimed twice");
+                                continue;
+                            };
                             let t = Instant::now();
                             let output = run();
-                            *results[i].lock().expect("result slot lock") =
+                            *results[i].lock().unwrap_or_else(PoisonError::into_inner) =
                                 Some((output, t.elapsed()));
                         })
                     })
@@ -262,11 +284,13 @@ impl ExperimentPlan {
         let mut job_wall = Duration::ZERO;
         let mut sim_cycles = 0u64;
         for (i, name) in names.iter().enumerate() {
-            let (output, dur) = results[i]
-                .lock()
-                .expect("result slot lock")
-                .take()
-                .expect("every job completed");
+            let slot = results[i].lock().unwrap_or_else(PoisonError::into_inner).take();
+            let Some((output, dur)) = slot else {
+                // Worker panics re-raise before assembly, so a job that
+                // ran left a result; an empty slot is unreachable.
+                debug_assert!(false, "job {i} produced no result");
+                continue;
+            };
             if job_times {
                 eprintln!(
                     "[job {i:>3}] {:>8.3}s {:>14} cyc {:>9.3e} cyc/s  {name}",
@@ -280,15 +304,13 @@ impl ExperimentPlan {
             for (x, total, ledger) in output.breakdown {
                 breakdown.rows.push(BreakdownRow { series: name.clone(), x, total, ledger });
             }
-            let series = match set.series.iter_mut().position(|s| s.name == *name) {
-                Some(idx) => &mut set.series[idx],
-                None => {
-                    set.push(Series::new(name.clone()));
-                    set.series.last_mut().expect("just pushed")
-                }
-            };
+            let idx = series_index(&mut set, name);
             for (x, y) in output.points {
-                series.push(x, y);
+                set.series[idx].push(x, y);
+            }
+            for (extra_name, x, y) in output.extra {
+                let idx = series_index(&mut set, &extra_name);
+                set.series[idx].push(x, y);
             }
         }
         if let Some(finish) = self.finish {
@@ -305,6 +327,17 @@ impl ExperimentPlan {
             breakdown,
         };
         (set, metrics)
+    }
+}
+
+/// Index of `name` in `set`, appending a fresh series on first mention.
+fn series_index(set: &mut SeriesSet, name: &str) -> usize {
+    match set.series.iter().position(|s| s.name == name) {
+        Some(idx) => idx,
+        None => {
+            set.push(Series::new(name.to_owned()));
+            set.series.len() - 1
+        }
     }
 }
 
@@ -371,6 +404,28 @@ mod tests {
         // The derived series lands after all job series, as in the old
         // eager generators.
         assert_eq!(set.series.last().expect("derived").name, "sum");
+    }
+
+    #[test]
+    fn extra_points_land_on_their_named_series_deterministically() {
+        let plan = || {
+            let mut plan = ExperimentPlan::new("x");
+            for n in 1..=3u32 {
+                plan.push_job("main", move || {
+                    JobOutput::point(n as f64, n as f64, 1)
+                        .with_extra("aux", n as f64, (100 * n) as f64)
+                });
+            }
+            plan
+        };
+        let (serial, _) = plan().execute(1);
+        let (parallel, _) = plan().execute(4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.series.len(), 2);
+        assert_eq!(serial.series[0].name, "main");
+        assert_eq!(serial.series[1].name, "aux");
+        assert_eq!(serial.series[1].points.len(), 3);
+        assert_eq!(serial.series[1].points[2].y, 300.0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use porsche::cis::DispatchMode;
 use porsche::costs::CostModel;
+use porsche::fault::{FaultPlan, RecoveryPolicy};
 use porsche::kernel::{KernelConfig, KernelError};
 use porsche::policy::PolicyKind;
 use porsche::probe::{CycleLedger, Event};
@@ -34,6 +35,9 @@ pub struct Scenario {
     share_circuits: bool,
     cycle_limit: u64,
     trace_capacity: usize,
+    faults: Option<FaultPlan>,
+    recovery: RecoveryPolicy,
+    watchdog_cycles: Option<u64>,
 }
 
 impl Scenario {
@@ -56,6 +60,9 @@ impl Scenario {
             share_circuits: false,
             cycle_limit: 500_000_000_000,
             trace_capacity: 0,
+            faults: None,
+            recovery: RecoveryPolicy::default(),
+            watchdog_cycles: None,
         }
     }
 
@@ -143,6 +150,36 @@ impl Scenario {
         self
     }
 
+    /// Inject faults per `plan` (DESIGN.md §9). Pair with
+    /// [`Scenario::watchdog`] so hung slots are actually detected.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// How far the kernel's fault handler climbs the recovery ladder
+    /// (retry → software failover → quarantine).
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Per-PFU watchdog allowance: clocks a slot may accumulate without
+    /// raising `done` before the RFU trips a fault (`None` disables —
+    /// the seed behaviour).
+    pub fn watchdog(mut self, cycles: u64) -> Self {
+        self.watchdog_cycles = Some(cycles);
+        self
+    }
+
+    /// Register the software alternatives without switching the dispatch
+    /// mode: contention still reconfigures, but the fault handler's
+    /// failover rung has a software path to fall back on.
+    pub fn software_alts(mut self) -> Self {
+        self.with_software_alt = true;
+        self
+    }
+
     /// Build the machine, spawn the instances and run to completion.
     ///
     /// # Errors
@@ -163,9 +200,16 @@ impl Scenario {
                 default_mem: 1 << 20,
                 share_circuits: self.share_circuits,
                 trace_capacity: self.trace_capacity,
+                faults: self.faults,
+                recovery: self.recovery,
                 ..KernelConfig::default()
             },
-            rfu: RfuConfig { pfus: self.pfus, tlb_capacity: self.tlb_capacity, ..RfuConfig::default() },
+            rfu: RfuConfig {
+                pfus: self.pfus,
+                tlb_capacity: self.tlb_capacity,
+                watchdog_cycles: self.watchdog_cycles,
+                ..RfuConfig::default()
+            },
         });
         for _ in 0..self.instances {
             machine.spawn(spec.spawn_spec(self.with_software_alt))?;

@@ -45,6 +45,6 @@ pub mod unit;
 pub use cam::{Cam, TupleKey};
 pub use circuit::{CircuitClock, CircuitState, NetlistCircuit, PfuCircuit};
 pub use counters::UsageCounters;
-pub use pfu::{PfuArray, PfuIndex};
+pub use pfu::{PfuArray, PfuHealth, PfuIndex};
 pub use regfile::RegFile;
 pub use unit::{DispatchCounters, FaultInfo, Rfu, RfuConfig};

@@ -24,11 +24,23 @@ pub struct RfuConfig {
     /// rejected alternative — uninterruptible instructions that run to
     /// completion and stretch interrupt latency (ablation A6).
     pub interruptible: bool,
+    /// Per-PFU watchdog: if a slot accumulates this many clocks without
+    /// raising `done` (across interrupted reissues), the unit trips a
+    /// [`FaultInfo::Watchdog`] fault instead of clocking further —
+    /// the detection point for hung/stuck/corrupt circuits. `None`
+    /// disables the watchdog (the seed behaviour).
+    pub watchdog_cycles: Option<u64>,
 }
 
 impl Default for RfuConfig {
     fn default() -> Self {
-        Self { pfus: 4, tlb_capacity: 16, max_instruction_cycles: 1 << 20, interruptible: true }
+        Self {
+            pfus: 4,
+            tlb_capacity: 16,
+            max_instruction_cycles: 1 << 20,
+            interruptible: true,
+            watchdog_cycles: None,
+        }
     }
 }
 
@@ -55,6 +67,19 @@ pub enum FaultInfo {
         key: TupleKey,
         /// The PFU hosting the runaway circuit.
         pfu: PfuIndex,
+    },
+    /// The per-PFU watchdog expired: the slot accumulated
+    /// [`RfuConfig::watchdog_cycles`] clocks without raising `done`.
+    /// Unlike [`FaultInfo::Runaway`], the cycles the final issue burned
+    /// are reported so the OS can charge them (a faulting issue returns
+    /// no cycle count through the coprocessor port).
+    Watchdog {
+        /// The faulting tuple.
+        key: TupleKey,
+        /// The PFU whose watchdog tripped.
+        pfu: PfuIndex,
+        /// Clocks the final (faulting) issue consumed before the trip.
+        burned: u64,
     },
 }
 
@@ -192,17 +217,32 @@ impl Coprocessor for Rfu {
                 self.dispatch.faults += 1;
                 return CoprocResult::Fault;
             }
-            let capped = if self.config.interruptible {
+            let mut capped = if self.config.interruptible {
                 budget.min(self.config.max_instruction_cycles)
             } else {
                 self.config.max_instruction_cycles
             };
+            // The watchdog bounds how long the slot may clock without a
+            // completion: cap this issue at the remaining allowance so a
+            // hung circuit trips after exactly `watchdog_cycles` clocks
+            // instead of burning the whole quantum first.
+            if let Some(wd) = self.config.watchdog_cycles {
+                let remaining = wd.saturating_sub(self.pfus.health(pfu).busy_since_done).max(1);
+                capped = capped.min(remaining);
+            }
             return match self.pfus.run(pfu, op_a, op_b, capped) {
                 RunOutcome::Done { value, cycles } => {
                     self.dispatch.hw_dispatches += 1;
                     CoprocResult::Done { value, cycles }
                 }
                 RunOutcome::OutOfBudget { cycles } => {
+                    if let Some(wd) = self.config.watchdog_cycles {
+                        if self.pfus.health(pfu).busy_since_done >= wd {
+                            self.last_fault = Some(FaultInfo::Watchdog { key, pfu, burned: cycles });
+                            self.dispatch.faults += 1;
+                            return CoprocResult::Fault;
+                        }
+                    }
                     if cycles >= self.config.max_instruction_cycles
                         && (budget > capped || !self.config.interruptible)
                     {
@@ -359,6 +399,58 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert!(matches!(rfu.take_fault(), Some(FaultInfo::Runaway { .. })));
+    }
+
+    #[test]
+    fn watchdog_trips_on_stuck_done_and_reports_burned_cycles() {
+        let mut rfu =
+            Rfu::new(RfuConfig { watchdog_cycles: Some(200), ..RfuConfig::default() });
+        let circuit: Box<dyn PfuCircuit> = Box::new(FixedLatency::new("add", 5, 4, |a, b| a + b));
+        rfu.pfus_mut().load(0, circuit);
+        rfu.tlb_hw_mut().insert(0, TupleKey::new(1, 0), 0);
+        // Healthy circuit under a watchdog: completes normally.
+        assert!(matches!(rfu.exec_custom(1, 0, 1, 2, 0, 0, 1000), CoprocResult::Done { .. }));
+        // Stick the slot's done signal: the same dispatch now burns the
+        // watchdog allowance and faults, reporting the burned cycles.
+        rfu.pfus_mut().health_mut(0).stuck_done = true;
+        match rfu.exec_custom(1, 0, 1, 2, 0, 0, 1_000_000) {
+            CoprocResult::Fault => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match rfu.take_fault() {
+            Some(FaultInfo::Watchdog { pfu: 0, burned: 200, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_accumulates_across_interrupted_reissues() {
+        let mut rfu =
+            Rfu::new(RfuConfig { watchdog_cycles: Some(100), ..RfuConfig::default() });
+        let circuit: Box<dyn PfuCircuit> = Box::new(FixedLatency::new("slow", 60, 4, |a, _| a));
+        rfu.pfus_mut().load(0, circuit);
+        rfu.pfus_mut().health_mut(0).stuck_done = true;
+        rfu.tlb_hw_mut().insert(0, TupleKey::new(1, 0), 0);
+        // Short budgets interrupt below the watchdog threshold...
+        assert!(matches!(rfu.exec_custom(1, 0, 1, 0, 0, 0, 40), CoprocResult::Interrupted { cycles: 40 }));
+        assert!(matches!(rfu.exec_custom(1, 0, 1, 0, 0, 0, 40), CoprocResult::Interrupted { cycles: 40 }));
+        // ...until the slot's cumulative busy-without-done crosses it.
+        assert!(matches!(rfu.exec_custom(1, 0, 1, 0, 0, 0, 40), CoprocResult::Fault));
+        assert!(matches!(
+            rfu.take_fault(),
+            Some(FaultInfo::Watchdog { pfu: 0, burned: 20, .. })
+        ));
+    }
+
+    #[test]
+    fn no_watchdog_preserves_seed_behaviour() {
+        // watchdog_cycles: None leaves the runaway path untouched.
+        let mut rfu = Rfu::new(RfuConfig { max_instruction_cycles: 100, ..RfuConfig::default() });
+        let circuit: Box<dyn PfuCircuit> = Box::new(FixedLatency::new("slow", 50, 4, |a, _| a));
+        rfu.pfus_mut().load(0, circuit);
+        rfu.tlb_hw_mut().insert(0, TupleKey::new(1, 0), 0);
+        assert!(matches!(rfu.exec_custom(1, 0, 9, 0, 0, 0, 10), CoprocResult::Interrupted { cycles: 10 }));
+        assert!(matches!(rfu.exec_custom(1, 0, 9, 0, 0, 0, 1000), CoprocResult::Done { .. }));
     }
 
     #[test]

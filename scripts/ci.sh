@@ -29,4 +29,16 @@ for f in "$serial_dir/summary.json" "$parallel_dir/summary.json"; do
 done
 echo "CSVs byte-identical across job counts; summary.json emitted"
 
+echo "== fault-campaign smoke (quick scale, --jobs 1 vs --jobs 2, golden diff) =="
+cargo run --release -p proteus-bench --bin repro -- \
+    --quick --jobs 1 --out "$serial_dir" faults >/dev/null
+cargo run --release -p proteus-bench --bin repro -- \
+    --quick --jobs 2 --out "$parallel_dir" faults >/dev/null
+diff "$serial_dir/fault_campaign.csv" "$parallel_dir/fault_campaign.csv"
+diff "$serial_dir/breakdown_fault_campaign.csv" "$parallel_dir/breakdown_fault_campaign.csv"
+# Fault injection is seeded: the quick-scale campaign must reproduce the
+# committed golden matrix bit-for-bit on every host.
+diff scripts/golden/fault_campaign_quick.csv "$serial_dir/fault_campaign.csv"
+echo "fault campaign deterministic and matches the golden matrix"
+
 echo "== ci.sh OK =="
