@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--jobs N] [--out DIR] [--trace SCENARIO]
+//!       [--flame SCENARIO] [--chrome-trace SCENARIO] [--bench]
 //!       [fig2] [fig3] [speedup] [policies] [quanta] [pfus]
 //!       [config-split] [tlb] [longinstr] [soft-crossover] [sharing]
 //!       [dynamic] [faults] [all]
@@ -18,21 +19,36 @@
 //! and `breakdown_<figure>.csv` attributing every simulated cycle of
 //! every job to a [`proteus::CycleLedger`] category. `summary.json`
 //! records per-figure and total wall time, job counts,
-//! simulated-cycles-per-host-second throughput and a `cycle_breakdown`
-//! section (per-experiment and aggregate category totals).
+//! simulated-cycles-per-host-second throughput, a `cycle_breakdown`
+//! section (per-experiment and aggregate category totals), the top
+//! per-process × per-callsite cycle sinks, and per-trace ring-buffer
+//! drop counts.
 //!
-//! `--trace alpha|echo|twofish` additionally runs a small contended
-//! scenario of the named application with tracing on and dumps its
-//! event timeline as JSON lines into `trace_<scenario>.jsonl` (one
-//! object per event, oldest first).
+//! Profiling flags (scenario names resolve through
+//! [`proteus::experiment::resolve_target`] — experiment figures from
+//! the registry, demo apps by name):
+//!
+//! * `--trace <app>` runs a small contended demo of the named
+//!   application with tracing on and dumps its event timeline as JSON
+//!   lines into `trace_<app>.jsonl` (one object per event, oldest
+//!   first, each carrying its `(pid, callsite)` attribution tag);
+//! * `--flame <experiment|app>` writes a Brendan-Gregg folded-stack
+//!   profile `flamegraph_<name>.folded` — for an experiment, the merged
+//!   attribution of every job in the plan (byte-identical at any
+//!   `--jobs`); for an app, the demo scenario's attribution;
+//! * `--chrome-trace <app>` renders the demo's trace ring plus per-PFU
+//!   residency/quarantine timelines as `chrome_trace_<app>.json` for
+//!   `chrome://tracing` / Perfetto.
 
 use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
-use proteus::experiment::{plan_for, Scale, EXPERIMENTS};
+use porsche::chrome::chrome_trace_json;
+use porsche::probe::AttributedLedger;
+use proteus::experiment::{demo_scenario, plan_for, resolve_target, RunTarget, Scale, EXPERIMENTS};
 use proteus::runner::{default_workers, PlanMetrics};
-use proteus::scenario::Scenario;
+use proteus::scenario::ScenarioResult;
 use proteus::series::SeriesSet;
 use proteus_apps::AppKind;
 
@@ -55,31 +71,139 @@ fn emit_breakdown(m: &PlanMetrics, outdir: &Path) {
     }
 }
 
-/// Run a small contended scenario of `app` with tracing enabled and dump
-/// the event timeline as JSON lines.
-fn dump_trace(app: AppKind, quick: bool, outdir: &Path) {
+/// What one traced demo run contributed, for `summary.json`'s `traces`
+/// section: truncated timelines must be visible, not silent.
+struct TraceInfo {
+    scenario: &'static str,
+    output: String,
+    events: usize,
+    dropped: u64,
+    total_cycles: u64,
+}
+
+impl TraceInfo {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"scenario\": \"{}\", \"output\": \"{}\", \"events\": {}, \
+             \"dropped_events\": {}, \"total_cycles\": {}}}",
+            json_escape(self.scenario),
+            json_escape(&self.output),
+            self.events,
+            self.dropped,
+            self.total_cycles,
+        )
+    }
+}
+
+/// Run the contended demo scenario of `app` with tracing enabled,
+/// panicking on simulation/checksum failure and warning when the trace
+/// ring overflowed (the dump is then the *tail* of the timeline).
+fn run_demo(app: AppKind, quick: bool) -> ScenarioResult {
     let name = app.name();
-    let (instances, passes) = if quick { (3, 4) } else { (5, 12) };
-    let result = Scenario::new(app)
-        .instances(instances)
-        .passes(passes)
-        .quantum(100_000)
-        .trace_capacity(1 << 20)
+    let result = demo_scenario(app, quick)
         .run()
-        .unwrap_or_else(|e| panic!("trace scenario {name}: {e}"));
-    assert!(result.all_valid(), "trace scenario {name}: checksum mismatch");
+        .unwrap_or_else(|e| panic!("demo scenario {name}: {e}"));
+    assert!(result.all_valid(), "demo scenario {name}: checksum mismatch");
+    result
+}
+
+fn warn_on_drops(name: &str, dropped: u64) {
+    if dropped > 0 {
+        eprintln!(
+            "warning: trace ring dropped {dropped} events for {name}; \
+             the dump holds only the timeline tail"
+        );
+    }
+}
+
+/// `--trace <app>`: dump the demo's event timeline as JSON lines.
+fn dump_trace(app: AppKind, quick: bool, outdir: &Path) -> TraceInfo {
+    let name = app.name();
+    let result = run_demo(app, quick);
+    let dropped = result.trace_dropped;
     let mut out = String::new();
-    for (at, event) in &result.trace {
-        out.push_str(&event.to_json(*at));
+    for &(at, tag, ref event) in &result.trace {
+        out.push_str(&event.to_json(at, tag));
         out.push('\n');
     }
-    let path = outdir.join(format!("trace_{name}.jsonl"));
+    let file = format!("trace_{name}.jsonl");
+    let path = outdir.join(&file);
     match std::fs::write(&path, &out) {
         Ok(()) => println!(
             "wrote {} ({} events over {} cycles)",
             path.display(),
             result.trace.len(),
             result.total_cycles,
+        ),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    warn_on_drops(name, dropped);
+    TraceInfo {
+        scenario: name,
+        output: file,
+        events: result.trace.len(),
+        dropped,
+        total_cycles: result.total_cycles,
+    }
+}
+
+/// `--chrome-trace <app>`: render the demo's trace ring plus per-PFU
+/// residency timelines as Chrome trace-event JSON.
+fn dump_chrome_trace(app: AppKind, quick: bool, outdir: &Path) -> TraceInfo {
+    let name = app.name();
+    let result = run_demo(app, quick);
+    let dropped = result.trace_dropped;
+    let json = chrome_trace_json(name, &result.trace, dropped, result.total_cycles);
+    let file = format!("chrome_trace_{name}.json");
+    let path = outdir.join(&file);
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!(
+            "wrote {} ({} events over {} cycles)",
+            path.display(),
+            result.trace.len(),
+            result.total_cycles,
+        ),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    warn_on_drops(name, dropped);
+    TraceInfo {
+        scenario: name,
+        output: file,
+        events: result.trace.len(),
+        dropped,
+        total_cycles: result.total_cycles,
+    }
+}
+
+/// `--flame <target>`: write a folded-stack profile. Experiment targets
+/// run the whole plan on `jobs` workers and merge every job's
+/// attribution (cell-wise sums commute, so the output is byte-identical
+/// at any worker count); demo targets profile the single contended
+/// scenario.
+fn dump_flame(target: RunTarget, scale: &Scale, quick: bool, jobs: usize, outdir: &Path) {
+    let name = target.name();
+    let attributed = match target {
+        RunTarget::Experiment(exp) => {
+            let plan = plan_for(exp, scale).expect("resolver only yields registered experiments");
+            let (_, m) = plan.execute(jobs);
+            println!(
+                "[flame {exp}] {} jobs on {} workers in {:.2}s",
+                m.jobs,
+                m.workers,
+                m.wall.as_secs_f64(),
+            );
+            m.attributed
+        }
+        RunTarget::Demo(app) => run_demo(app, quick).attributed,
+    };
+    let folded = attributed.to_folded(name);
+    let path = outdir.join(format!("flamegraph_{name}.folded"));
+    match std::fs::write(&path, &folded) {
+        Ok(()) => println!(
+            "wrote {} ({} stacks, {} cycles)",
+            path.display(),
+            folded.lines().count(),
+            attributed.total(),
         ),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
@@ -137,8 +261,12 @@ fn host_json(jobs: usize) -> String {
 
 /// Hand-rolled `summary.json` (the workspace carries no JSON
 /// dependency; the schema is small and fixed).
+/// Largest per-process × per-callsite sinks surfaced in `summary.json`.
+const TOP_SINKS: usize = 5;
+
 fn summary_json(
     metrics: &[PlanMetrics],
+    traces: &[TraceInfo],
     workers: usize,
     quick: bool,
     total_wall_seconds: f64,
@@ -152,14 +280,18 @@ fn summary_json(
     // Per-experiment and aggregate cycle attribution, folded from the
     // same event stream that produced the breakdown CSVs.
     let mut aggregate = proteus::CycleLedger::default();
+    let mut attributed = AttributedLedger::default();
     let per_figure_breakdown: Vec<String> = metrics
         .iter()
         .map(|m| {
             let ledger = m.breakdown.aggregate();
             aggregate.absorb(&ledger);
+            attributed.absorb(&m.attributed);
             format!("    \"{}\": {}", json_escape(&m.figure), ledger.to_json())
         })
         .collect();
+    let trace_entries: Vec<String> =
+        traces.iter().map(|t| format!("    {}", t.to_json())).collect();
     format!(
         "{{\n\
          \x20 \"workers\": {workers},\n\
@@ -169,6 +301,8 @@ fn summary_json(
          \x20 \"cycle_breakdown\": {{\n{}{}\
          \x20   \"aggregate\": {}\n\
          \x20 }},\n\
+         \x20 \"top_sinks\": {},\n\
+         \x20 \"traces\": [{}],\n\
          \x20 \"total\": {{\n\
          \x20   \"jobs\": {total_jobs},\n\
          \x20   \"wall_seconds\": {total_wall_seconds:.6},\n\
@@ -182,6 +316,12 @@ fn summary_json(
         per_figure_breakdown.join(",\n"),
         if per_figure_breakdown.is_empty() { "" } else { ",\n" },
         aggregate.to_json(),
+        attributed.top_sinks_json(TOP_SINKS),
+        if trace_entries.is_empty() {
+            String::new()
+        } else {
+            format!("\n{}\n  ", trace_entries.join(",\n"))
+        },
     )
 }
 
@@ -320,14 +460,50 @@ fn run_bench(quick: bool, outdir: &Path) {
 }
 
 fn usage() -> ! {
+    let apps: Vec<&str> = AppKind::ALL.iter().map(|a| a.name()).collect();
     eprintln!(
-        "usage: repro [--quick] [--jobs N] [--out DIR] [--trace SCENARIO] [--bench] [experiment...|all]\n\
+        "usage: repro [--quick] [--jobs N] [--out DIR] [--trace SCENARIO] [--flame SCENARIO]\n\
+         \x20            [--chrome-trace SCENARIO] [--bench] [experiment...|all]\n\
          experiments: {}\n\
-         trace scenarios: alpha echo twofish\n\
+         demo apps (for --trace/--chrome-trace, also valid for --flame): {}\n\
+         --flame: write results/flamegraph_<name>.folded (experiment figure or demo app)\n\
+         --chrome-trace: write results/chrome_trace_<app>.json for chrome://tracing\n\
          --bench: run the pinned perf benchmark ({BENCH_FIGURE}, 1 worker) and append results/BENCH_<n>.json",
-        EXPERIMENTS.join(" ")
+        EXPERIMENTS.join(" "),
+        apps.join(" "),
     );
     std::process::exit(2);
+}
+
+/// Resolve a `--trace`/`--flame`/`--chrome-trace` argument or exit with
+/// the resolver's full list of valid names.
+fn resolve_or_usage(flag: &str, name: Option<String>) -> RunTarget {
+    let Some(name) = name else {
+        eprintln!("{flag} needs a scenario name");
+        usage();
+    };
+    match resolve_target(&name) {
+        Ok(target) => target,
+        Err(e) => {
+            eprintln!("{flag}: {e}");
+            usage();
+        }
+    }
+}
+
+/// Demo-only flags reject experiment targets with a pointer to the flag
+/// that handles them.
+fn demo_or_usage(flag: &str, target: RunTarget) -> AppKind {
+    match target {
+        RunTarget::Demo(app) => app,
+        RunTarget::Experiment(name) => {
+            eprintln!(
+                "{flag} profiles a single demo scenario; '{name}' is an experiment figure \
+                 (use --flame {name} for its merged folded-stack profile)"
+            );
+            usage();
+        }
+    }
 }
 
 fn main() {
@@ -337,6 +513,8 @@ fn main() {
     let mut jobs = default_workers();
     let mut outdir = String::from("results");
     let mut traces: Vec<AppKind> = Vec::new();
+    let mut chrome_traces: Vec<AppKind> = Vec::new();
+    let mut flames: Vec<RunTarget> = Vec::new();
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -344,18 +522,16 @@ fn main() {
             "--quick" => quick = true,
             "--bench" => bench = true,
             "--trace" => {
-                let app = match it.next().as_deref() {
-                    Some("alpha") => AppKind::Alpha,
-                    Some("echo") => AppKind::Echo,
-                    Some("twofish") => AppKind::Twofish,
-                    other => {
-                        eprintln!(
-                            "--trace needs a scenario (alpha|echo|twofish), got {other:?}"
-                        );
-                        usage();
-                    }
-                };
-                traces.push(app);
+                traces.push(demo_or_usage("--trace", resolve_or_usage("--trace", it.next())));
+            }
+            "--chrome-trace" => {
+                chrome_traces.push(demo_or_usage(
+                    "--chrome-trace",
+                    resolve_or_usage("--chrome-trace", it.next()),
+                ));
+            }
+            "--flame" => {
+                flames.push(resolve_or_usage("--flame", it.next()));
             }
             "--jobs" => {
                 let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok().filter(|n| *n > 0))
@@ -381,7 +557,8 @@ fn main() {
         }
     }
     if bench {
-        if !wanted.is_empty() || !traces.is_empty() {
+        if !wanted.is_empty() || !traces.is_empty() || !chrome_traces.is_empty() || !flames.is_empty()
+        {
             eprintln!("--bench runs the pinned subset only; drop experiment/trace arguments");
             usage();
         }
@@ -392,9 +569,9 @@ fn main() {
         run_bench(quick, outdir);
         return;
     }
-    // `--trace` alone dumps timelines without rerunning every figure;
-    // with explicit experiment names it does both.
-    if wanted.is_empty() && traces.is_empty() {
+    // Profiling flags alone run without rerunning every figure; with
+    // explicit experiment names they do both.
+    if wanted.is_empty() && traces.is_empty() && chrome_traces.is_empty() && flames.is_empty() {
         wanted.push("all".into());
     }
     let all = wanted.contains(&"all".to_string());
@@ -412,8 +589,15 @@ fn main() {
     }
 
     let t0 = Instant::now();
+    let mut trace_infos: Vec<TraceInfo> = Vec::new();
     for app in &traces {
-        dump_trace(*app, quick, outdir);
+        trace_infos.push(dump_trace(*app, quick, outdir));
+    }
+    for app in &chrome_traces {
+        trace_infos.push(dump_chrome_trace(*app, quick, outdir));
+    }
+    for target in &flames {
+        dump_flame(*target, &scale, quick, jobs, outdir);
     }
     let mut metrics: Vec<PlanMetrics> = Vec::new();
     for name in EXPERIMENTS {
@@ -435,11 +619,11 @@ fn main() {
     }
     let total_wall = t0.elapsed().as_secs_f64();
 
-    if !metrics.is_empty() || traces.is_empty() {
+    if !metrics.is_empty() || !trace_infos.is_empty() {
         // Report the effective worker count (the runner clamps to each
         // plan's job count), not the raw `--jobs` request.
         let effective_workers = metrics.iter().map(|m| m.workers).max().unwrap_or(1);
-        let summary = summary_json(&metrics, effective_workers, quick, total_wall);
+        let summary = summary_json(&metrics, &trace_infos, effective_workers, quick, total_wall);
         let summary_path = outdir.join("summary.json");
         match std::fs::write(&summary_path, &summary) {
             Ok(()) => println!("wrote {}", summary_path.display()),

@@ -288,7 +288,7 @@ fn event_trace_orders_the_management_story() {
         assert!(pair[0].0 <= pair[1].0, "{pair:?}");
     }
     use porsche::trace::Event;
-    let idx_of = |pred: &dyn Fn(&Event) -> bool| events.iter().position(|(_, e)| pred(e));
+    let idx_of = |pred: &dyn Fn(&Event) -> bool| events.iter().position(|(_, _, e)| pred(e));
     let first_spawn = idx_of(&|e| matches!(e, Event::Spawn { .. })).expect("spawn");
     let first_fault = idx_of(&|e| matches!(e, Event::Fault { .. })).expect("fault");
     let first_load = idx_of(&|e| matches!(e, Event::ConfigLoad { .. })).expect("load");
@@ -296,7 +296,7 @@ fn event_trace_orders_the_management_story() {
     assert!(first_spawn < first_fault && first_fault < first_load && first_load < first_exit);
     // Two processes fighting over one PFU must show evictions in the
     // timeline, and every fault precedes some resolution event.
-    assert!(events.iter().any(|(_, e)| matches!(e, Event::Eviction { .. })));
+    assert!(events.iter().any(|(_, _, e)| matches!(e, Event::Eviction { .. })));
     let text = machine.kernel().trace().to_text();
     assert!(text.contains("load (1, 0)"));
     assert!(text.contains("exit"));

@@ -1,19 +1,53 @@
 //! The instrumentation-bus consistency contract: statistics, the cycle
-//! ledger and the trace are all pure folds over ONE event stream, so
-//! (a) re-folding the recorded stream through fresh sinks must reproduce
-//! the kernel's own `KernelStats` and `CycleLedger` exactly, and
-//! (b) the ledger's categories must sum to the total simulated cycles —
-//! every cycle is attributed to exactly one category, none invented,
-//! none lost.
+//! ledger, the attributed ledger and the trace are all pure folds over
+//! ONE event stream, so (a) re-folding the recorded stream through
+//! fresh sinks must reproduce the kernel's own `KernelStats` and
+//! `CycleLedger` exactly, (b) the ledger's categories must sum to the
+//! total simulated cycles — every cycle is attributed to exactly one
+//! category, none invented, none lost — and (c) the per-process ×
+//! per-callsite `AttributedLedger` must refold to the global ledger,
+//! so its folded-stack export conserves every category.
+
+use std::collections::BTreeMap;
 
 use porsche::cis::DispatchMode;
 use porsche::fault::{FaultPlan, RecoveryPolicy};
 use porsche::policy::PolicyKind;
-use porsche::probe::{CycleLedger, Event, EventSink};
+use porsche::probe::{AttributedLedger, CycleLedger, Event, EventSink};
 use porsche::stats::KernelStats;
 use proptest::prelude::*;
-use proteus::scenario::Scenario;
+use proteus::scenario::{Scenario, ScenarioResult};
 use proteus_apps::AppKind;
+
+/// Per-category cycle sums parsed back out of a folded-stack export
+/// (`scenario;pid<N>;<callsite>;<category> <cycles>` lines).
+fn folded_category_sums(folded: &str) -> BTreeMap<&str, u64> {
+    let mut sums: BTreeMap<&str, u64> = BTreeMap::new();
+    for line in folded.lines() {
+        let (stack, cycles) = line.rsplit_once(' ').expect("folded line has a cycle count");
+        let category = stack.rsplit(';').next().expect("folded stack has frames");
+        *sums.entry(category).or_default() += cycles.parse::<u64>().expect("numeric cycles");
+    }
+    sums
+}
+
+/// The tentpole's conservation law, checked three ways: the attributed
+/// ledger refolds to the global ledger, its total matches the simulated
+/// cycle count, and the folded-stack export's per-category sums equal
+/// the global ledger's values exactly.
+fn assert_attribution_conserves(result: &ScenarioResult) {
+    assert_eq!(result.attributed.refold(), result.ledger, "attributed refold diverged");
+    assert_eq!(result.attributed.total(), result.total_cycles, "attributed total diverged");
+    let folded = result.attributed.to_folded("t");
+    let sums = folded_category_sums(&folded);
+    for (name, value) in CycleLedger::CATEGORIES.iter().zip(result.ledger.values()) {
+        assert_eq!(
+            sums.get(name).copied().unwrap_or(0),
+            value,
+            "folded-stack sum for {name} diverged from the global ledger"
+        );
+    }
+}
 
 fn arb_app() -> impl Strategy<Value = AppKind> {
     prop_oneof![Just(AppKind::Alpha), Just(AppKind::Twofish), Just(AppKind::Echo)]
@@ -60,12 +94,16 @@ proptest! {
         // Re-fold the recorded stream through fresh sinks.
         let mut stats = KernelStats::default();
         let mut ledger = CycleLedger::default();
-        for &(at, ref event) in &result.trace {
-            stats.on_event(at, event);
-            ledger.on_event(at, event);
+        let mut attributed = AttributedLedger::default();
+        for &(at, tag, ref event) in &result.trace {
+            stats.on_event(at, tag, event);
+            ledger.on_event(at, tag, event);
+            attributed.on_event(at, tag, event);
         }
         prop_assert_eq!(stats, result.stats, "stats fold diverged");
         prop_assert_eq!(ledger, result.ledger, "ledger fold diverged");
+        prop_assert_eq!(&attributed, &result.attributed, "attributed fold diverged");
+        assert_attribution_conserves(&result);
 
         // Conservation: every simulated cycle lands in exactly one
         // category.
@@ -125,12 +163,13 @@ proptest! {
 
         let mut stats = KernelStats::default();
         let mut ledger = CycleLedger::default();
-        for &(at, ref event) in &result.trace {
-            stats.on_event(at, event);
-            ledger.on_event(at, event);
+        for &(at, tag, ref event) in &result.trace {
+            stats.on_event(at, tag, event);
+            ledger.on_event(at, tag, event);
         }
         prop_assert_eq!(stats, result.stats, "stats fold diverged under faults");
         prop_assert_eq!(ledger, result.ledger, "ledger fold diverged under faults");
+        assert_attribution_conserves(&result);
         prop_assert_eq!(
             result.ledger.total(),
             result.total_cycles,
@@ -182,7 +221,7 @@ fn single_repair_emits_eviction_load_and_tlb_displacement_together() {
 
     let events = machine.kernel().trace().snapshot();
     let mut pinned = false;
-    for (i, &(at, event)) in events.iter().enumerate() {
+    for (i, &(at, _, event)) in events.iter().enumerate() {
         if !matches!(event, Event::Fault { .. }) {
             continue;
         }
@@ -190,8 +229,8 @@ fn single_repair_emits_eviction_load_and_tlb_displacement_together() {
         // clock does not advance inside the handler).
         let repair: Vec<Event> = events[i + 1..]
             .iter()
-            .take_while(|&&(a, _)| a == at)
-            .map(|&(_, e)| e)
+            .take_while(|&&(a, _, _)| a == at)
+            .map(|&(_, _, e)| e)
             .collect();
         let evicted = repair.iter().any(|e| matches!(e, Event::Eviction { .. }));
         let loaded = repair.iter().any(|e| matches!(e, Event::ConfigLoad { .. }));

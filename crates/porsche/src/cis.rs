@@ -16,7 +16,7 @@ use proteus_rfu::{FaultInfo, PfuIndex, Rfu, TupleKey};
 use crate::costs::CostModel;
 use crate::fault::{FaultUnit, RecoveryPolicy};
 use crate::policy::{PolicyView, ReplacementPolicy};
-use crate::probe::{Event, PfuFaultKind, Probe};
+use crate::probe::{Callsite, Event, PfuFaultKind, Probe, Tag};
 use crate::process::{Pid, Process};
 
 /// How the CIS resolves contention (the paper's two experiments).
@@ -116,8 +116,10 @@ impl Cis {
     }
 
     /// Program a TLB entry, evicting (round-robin over slots) if full.
-    /// Emits the [`Event::TlbProgram`] and returns its cycle cost so
-    /// the caller's charge and the event stay structurally paired.
+    /// Emits the [`Event::TlbProgram`] — attributed to `tag`'s callsite,
+    /// since TLB programming happens on behalf of whichever path asked
+    /// for it — and returns its cycle cost so the caller's charge and
+    /// the event stay structurally paired.
     #[allow(clippy::too_many_arguments)]
     fn tlb_insert(
         cam_hand: &mut usize,
@@ -128,6 +130,7 @@ impl Cis {
         costs: &CostModel,
         probe: &mut Probe,
         at: u64,
+        tag: Tag,
     ) -> u64 {
         let (slot, evicted) = match cam.free_slot() {
             Some(s) => (s, false),
@@ -139,13 +142,16 @@ impl Cis {
         };
         cam.insert(slot, key, value);
         let cost = costs.tlb_program;
-        probe.emit(at, Event::TlbProgram { key, soft, evicted, cost });
+        probe.emit(at, tag, Event::TlbProgram { key, soft, evicted, cost });
         cost
     }
 
     /// Unload the circuit in `pfu`, saving its state frames (and, under
     /// the A4 ablation, the full configuration) back to the owner's
-    /// registration record. Returns the cycle cost.
+    /// registration record. Returns the cycle cost. `tag` attributes the
+    /// work to whoever forced the unload (the placement requester or the
+    /// recovery ladder), not the evicted owner.
+    #[allow(clippy::too_many_arguments)]
     fn unload(
         &mut self,
         pfu: PfuIndex,
@@ -154,6 +160,7 @@ impl Cis {
         costs: &CostModel,
         probe: &mut Probe,
         at: u64,
+        tag: Tag,
     ) -> u64 {
         let Some(owner) = self.pfu_owner[pfu].take() else {
             return 0;
@@ -172,7 +179,7 @@ impl Cis {
             return 0;
         };
         let status = status || faulty;
-        probe.emit(at, Event::Eviction { key: owner });
+        probe.emit(at, tag, Event::Eviction { key: owner, pfu });
         let mut cycles = 0u64;
         if let Some(reg) = procs.get_mut(&owner.pid).and_then(|p| p.circuits.get_mut(&owner.cid)) {
             cycles = costs.unload_cycles(reg.static_bytes, reg.state_words);
@@ -182,7 +189,7 @@ impl Cis {
                 } else {
                     0
                 };
-            probe.emit(at, Event::BusTransfer { words, cost: cycles });
+            probe.emit(at, tag, Event::BusTransfer { words, cost: cycles });
             reg.instance = Some(circuit);
             reg.status = status;
             reg.loaded_at = None;
@@ -211,7 +218,8 @@ impl Cis {
         at: u64,
     ) -> FaultResolution {
         let mut cycles = costs.fault_entry;
-        probe.emit(at, Event::Fault { key, cost: cycles });
+        let miss = Tag::new(key.pid, Callsite::TlbMiss);
+        probe.emit(at, miss, Event::Fault { key, cost: cycles });
 
         match rfu.take_fault() {
             // Runaway circuits are fatal (the OS's timeliness
@@ -239,9 +247,10 @@ impl Cis {
         // §4.2: check for a plain mapping fault first — the circuit is
         // resident but its TLB entry was pushed out.
         if let Some(pfu) = reg.loaded_at {
-            probe.emit(at, Event::MappingRepair { key });
+            probe.emit(at, miss, Event::MappingRepair { key });
             cycles += Self::tlb_insert(
                 &mut self.tlb_hand, rfu.tlb_hw_mut(), key, pfu as u32, false, costs, probe, at,
+                miss,
             );
             return FaultResolution::Reissue { cycles };
         }
@@ -257,9 +266,9 @@ impl Cis {
             let Some(addr) = reg.software_alt else {
                 return FaultResolution::Kill { cycles };
             };
-            probe.emit(at, Event::MappingRepair { key });
+            probe.emit(at, miss, Event::MappingRepair { key });
             cycles += Self::tlb_insert(
-                &mut self.tlb_hand, rfu.tlb_sw_mut(), key, addr, true, costs, probe, at,
+                &mut self.tlb_hand, rfu.tlb_sw_mut(), key, addr, true, costs, probe, at, miss,
             );
             return FaultResolution::Reissue { cycles };
         }
@@ -315,15 +324,18 @@ impl Cis {
                 self.last_use_seq[pfu] = self.seq;
                 self.pfu_owner[pfu] = Some(key);
                 self.pfu_image[pfu] = image;
-                probe.emit(at, Event::StateSwap { key });
+                let reconf = Tag::new(key.pid, Callsite::Reconfiguration);
+                probe.emit(at, reconf, Event::StateSwap { key, pfu });
                 let swap_cost = costs.state_swap_cycles(state_words);
                 probe.emit(
                     at,
+                    reconf,
                     Event::BusTransfer { words: 2 * state_words as u64, cost: swap_cost },
                 );
                 cycles += swap_cost;
                 cycles += Self::tlb_insert(
                     &mut self.tlb_hand, rfu.tlb_hw_mut(), key, pfu as u32, false, costs, probe, at,
+                    reconf,
                 );
                 return FaultResolution::Reissue { cycles };
             }
@@ -360,6 +372,7 @@ impl Cis {
         let static_bytes = reg.static_bytes;
         let state_words = reg.state_words;
         let image = reg.image;
+        let reconf = Tag::new(key.pid, Callsite::Reconfiguration);
 
         // Find a home: an allocatable PFU, the software alternative, or
         // a victim.
@@ -371,9 +384,11 @@ impl Cis {
                 let no_victims = self.pfu_owner.iter().all(Option::is_none);
                 if self.mode == DispatchMode::SoftwareFallback || no_victims {
                     if let Some(addr) = software_alt {
-                        probe.emit(at, Event::SoftwareInstall { key });
+                        let sw = Tag::new(key.pid, Callsite::SwDispatch);
+                        probe.emit(at, sw, Event::SoftwareInstall { key });
                         cycles += Self::tlb_insert(
-                            &mut self.tlb_hand, rfu.tlb_sw_mut(), key, addr, true, costs, probe, at,
+                            &mut self.tlb_hand, rfu.tlb_sw_mut(), key, addr, true, costs, probe,
+                            at, sw,
                         );
                         if let Some(reg) =
                             procs.get_mut(&key.pid).and_then(|p| p.circuits.get_mut(&key.cid))
@@ -395,7 +410,7 @@ impl Cis {
                     current_pid: key.pid,
                 });
                 assert!(victim < self.pfu_owner.len(), "policy returned bad PFU {victim}");
-                cycles += self.unload(victim, rfu, procs, costs, probe, at);
+                cycles += self.unload(victim, rfu, procs, costs, probe, at, reconf);
                 victim
             }
         };
@@ -413,10 +428,10 @@ impl Cis {
         debug_assert!(evicted.is_none(), "target PFU was freed");
         rfu.pfus_mut().set_status(target, reg.status);
         reg.loaded_at = Some(target);
-        probe.emit(at, Event::ConfigLoad { key });
+        probe.emit(at, reconf, Event::ConfigLoad { key, pfu: target });
         let full_words = (static_bytes as u64).div_ceil(4) + state_words as u64;
         let load_cost = costs.full_load_cycles(static_bytes, state_words);
-        probe.emit(at, Event::BusTransfer { words: full_words, cost: load_cost });
+        probe.emit(at, reconf, Event::BusTransfer { words: full_words, cost: load_cost });
         cycles += load_cost;
 
         // Transit verification (DESIGN.md §9): when transfers can
@@ -426,8 +441,13 @@ impl Cis {
         // watchdog path repairs it on first use.
         if let Some(fu) = faults {
             if fu.transit_active() {
+                let rungs = Tag::new(key.pid, Callsite::FaultRungs);
                 let mut corrupt = fu.transit_corrupts();
-                probe.emit(at, Event::ScrubCheck { pfu: target, corrupt, cost: costs.crc_check });
+                probe.emit(
+                    at,
+                    rungs,
+                    Event::ScrubCheck { pfu: target, corrupt, cost: costs.crc_check },
+                );
                 cycles += costs.crc_check;
                 let mut attempt = 0u32;
                 while corrupt && attempt < recovery.max_retries {
@@ -435,12 +455,16 @@ impl Cis {
                     let cost = costs.retry_load_cycles(static_bytes, state_words, attempt);
                     probe.emit(
                         at,
+                        rungs,
                         Event::RecoveryRetry { key, pfu: target, attempt, words: full_words, cost },
                     );
                     cycles += cost;
                     corrupt = fu.transit_corrupts();
-                    probe
-                        .emit(at, Event::ScrubCheck { pfu: target, corrupt, cost: costs.crc_check });
+                    probe.emit(
+                        at,
+                        rungs,
+                        Event::ScrubCheck { pfu: target, corrupt, cost: costs.crc_check },
+                    );
                     cycles += costs.crc_check;
                 }
                 if corrupt {
@@ -456,6 +480,7 @@ impl Cis {
         self.pfu_image[target] = image;
         cycles += Self::tlb_insert(
             &mut self.tlb_hand, rfu.tlb_hw_mut(), key, target as u32, false, costs, probe, at,
+            reconf,
         );
         FaultResolution::Reissue { cycles }
     }
@@ -483,7 +508,11 @@ impl Cis {
         rfu.pfus_mut().load(pfu, circuit);
         let cost = costs.retry_load_cycles(static_bytes, state_words, attempt);
         let words = (static_bytes as u64).div_ceil(4) + state_words as u64;
-        probe.emit(at, Event::RecoveryRetry { key, pfu, attempt, words, cost });
+        probe.emit(
+            at,
+            Tag::new(key.pid, Callsite::FaultRungs),
+            Event::RecoveryRetry { key, pfu, attempt, words, cost },
+        );
         Some(cost)
     }
 
@@ -520,8 +549,9 @@ impl Cis {
         } else {
             PfuFaultKind::Watchdog
         };
+        let rungs = Tag::new(key.pid, Callsite::FaultRungs);
         let detect = burned + costs.crc_check;
-        probe.emit(at, Event::PfuFault { key, pfu, kind, cost: detect });
+        probe.emit(at, rungs, Event::PfuFault { key, pfu, kind, cost: detect });
         cycles += detect;
 
         let Some(reg) = procs.get(&key.pid).and_then(|p| p.circuits.get(&key.cid)) else {
@@ -563,8 +593,8 @@ impl Cis {
         // work, charged by the ordinary events).
         if recovery.quarantine_threshold.is_some_and(|t| health.fault_count >= t) {
             rfu.pfus_mut().health_mut(pfu).quarantined = true;
-            cycles += self.unload(pfu, rfu, procs, costs, probe, at);
-            probe.emit(at, Event::Quarantine { pfu });
+            cycles += self.unload(pfu, rfu, procs, costs, probe, at, rungs);
+            probe.emit(at, rungs, Event::Quarantine { pfu });
             // The stuck slot never clocked the instruction; restart it
             // from scratch on the new home.
             if let Some(reg) = procs.get_mut(&key.pid).and_then(|p| p.circuits.get_mut(&key.cid)) {
@@ -591,7 +621,7 @@ impl Cis {
         // the tuple through TLB2 (§2's graceful degradation).
         if recovery.software_failover {
             if let Some(addr) = software_alt {
-                cycles += self.unload(pfu, rfu, procs, costs, probe, at);
+                cycles += self.unload(pfu, rfu, procs, costs, probe, at, rungs);
                 if let Some(reg) =
                     procs.get_mut(&key.pid).and_then(|p| p.circuits.get_mut(&key.cid))
                 {
@@ -612,7 +642,7 @@ impl Cis {
                 // event so the work lands in the fault-recovery ledger
                 // category rather than routine TLB maintenance.
                 let cost = costs.tlb_program;
-                probe.emit(at, Event::SoftwareFailover { key, pfu, cost });
+                probe.emit(at, rungs, Event::SoftwareFailover { key, pfu, cost });
                 cycles += cost;
                 return FaultResolution::Reissue { cycles };
             }

@@ -14,7 +14,7 @@ use crate::cis::{Cis, DispatchMode, FaultResolution};
 use crate::costs::CostModel;
 use crate::fault::{FaultPlan, FaultUnit, RecoveryPolicy};
 use crate::policy::{PolicyKind, ReplacementPolicy};
-use crate::probe::{CycleLedger, Event, EventSink, Probe};
+use crate::probe::{AttributedLedger, Callsite, CycleLedger, Event, EventSink, Probe, Tag};
 use crate::process::{CircuitSpec, Pid, ProcState, Process, Registered};
 use crate::stats::KernelStats;
 use crate::trace::Trace;
@@ -207,6 +207,9 @@ pub struct RunReport {
     pub stats: KernelStats,
     /// Where every simulated cycle went (categories sum to the clock).
     pub ledger: CycleLedger,
+    /// The same cycles sliced per-process × per-callsite; refolds to
+    /// `ledger` exactly.
+    pub attributed: AttributedLedger,
 }
 
 impl RunReport {
@@ -309,7 +312,7 @@ impl Kernel {
             },
         );
         self.ready.push_back(pid);
-        self.probe.emit(at, Event::Spawn { pid });
+        self.probe.emit(at, Tag::new(pid, Callsite::ContextSwitch), Event::Spawn { pid });
         Ok(pid)
     }
 
@@ -326,6 +329,12 @@ impl Kernel {
     /// The cycle-attribution ledger gathered so far.
     pub fn ledger(&self) -> &CycleLedger {
         self.probe.ledger()
+    }
+
+    /// The per-process × per-callsite attribution matrix gathered so
+    /// far.
+    pub fn attributed(&self) -> &AttributedLedger {
+        self.probe.attributed()
     }
 
     /// The recorded event timeline (empty unless
@@ -420,7 +429,7 @@ impl Kernel {
             }
         }
         for pfu in fu.take_due_seus(now, rfu.pfus().len()) {
-            self.probe.emit(now, Event::SeuStrike { pfu });
+            self.probe.emit(now, Tag::kernel(Callsite::Scrub), Event::SeuStrike { pfu });
             // A strike on an empty slot damages SRAM the next load
             // rewrites anyway; only resident configurations suffer.
             if rfu.pfus().is_loaded(pfu) {
@@ -447,7 +456,9 @@ impl Kernel {
             let corrupt = rfu.pfus().health(pfu).config_corrupt;
             let cost = self.config.costs.crc_check;
             cpu.add_cycles(cost);
-            self.probe.emit(cpu.cycles(), Event::ScrubCheck { pfu, corrupt, cost });
+            // Scrub work is charged to the slot's owner when it has one.
+            let tag = Tag::new(owner.map_or(0, |k| k.pid), Callsite::Scrub);
+            self.probe.emit(cpu.cycles(), tag, Event::ScrubCheck { pfu, corrupt, cost });
             if !corrupt {
                 continue;
             }
@@ -476,8 +487,11 @@ impl Kernel {
                 let cost = self.config.costs.retry_load_cycles(static_bytes, state_words, attempt);
                 let words = (static_bytes as u64).div_ceil(4) + state_words as u64;
                 cpu.add_cycles(cost);
-                self.probe
-                    .emit(cpu.cycles(), Event::RecoveryRetry { key, pfu, attempt, words, cost });
+                self.probe.emit(
+                    cpu.cycles(),
+                    Tag::new(key.pid, Callsite::Scrub),
+                    Event::RecoveryRetry { key, pfu, attempt, words, cost },
+                );
             }
         }
     }
@@ -494,6 +508,7 @@ impl Kernel {
                 cpu.add_cycles(cost);
                 self.probe.emit(
                     cpu.cycles(),
+                    Tag::new(next, Callsite::ContextSwitch),
                     Event::ContextSwitch { from: self.current, to: next, cost },
                 );
                 self.restore(next, cpu, rfu);
@@ -503,7 +518,11 @@ impl Kernel {
                 let cost = self.config.costs.timer_tick;
                 cpu.add_cycles(cost);
                 if let Some(pid) = self.current {
-                    self.probe.emit(cpu.cycles(), Event::TimerTick { pid, cost });
+                    self.probe.emit(
+                        cpu.cycles(),
+                        Tag::new(pid, Callsite::ContextSwitch),
+                        Event::TimerTick { pid, cost },
+                    );
                 }
                 self.quantum_end = cpu.cycles() + self.config.quantum;
             }
@@ -520,12 +539,13 @@ impl Kernel {
             p.state = state;
             p.finish_cycle = Some(cpu.cycles());
         }
+        let tag = Tag::new(pid, Callsite::ContextSwitch);
         match state {
             ProcState::Killed => {
-                self.probe.emit(cpu.cycles(), Event::Kill { pid });
+                self.probe.emit(cpu.cycles(), tag, Event::Kill { pid });
             }
             ProcState::Exited { code } => {
-                self.probe.emit(cpu.cycles(), Event::Exit { pid, code });
+                self.probe.emit(cpu.cycles(), tag, Event::Exit { pid, code });
             }
             ProcState::Ready => {}
         }
@@ -535,7 +555,11 @@ impl Kernel {
         let cost = self.config.costs.syscall;
         cpu.add_cycles(cost);
         let Some(pid) = self.current else { return };
-        self.probe.emit(cpu.cycles(), Event::Syscall { pid, number: imm, cost });
+        self.probe.emit(
+            cpu.cycles(),
+            Tag::new(pid, Callsite::Syscall),
+            Event::Syscall { pid, number: imm, cost },
+        );
         match imm {
             swi::EXIT => {
                 let code = cpu.reg(0);
@@ -636,6 +660,7 @@ impl Kernel {
                         cpu.add_cycles(cost);
                         self.probe.emit(
                             cpu.cycles(),
+                            Tag::new(next, Callsite::ContextSwitch),
                             Event::ContextSwitch { from: None, to: next, cost },
                         );
                         self.restore(next, cpu, rfu);
@@ -755,6 +780,7 @@ impl Kernel {
             makespan,
             stats: *self.probe.stats(),
             ledger: *self.probe.ledger(),
+            attributed: self.probe.attributed().clone(),
         }
     }
 }

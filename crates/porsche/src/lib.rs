@@ -56,6 +56,7 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod chrome;
 pub mod cis;
 pub mod costs;
 pub mod fault;
@@ -71,7 +72,8 @@ pub use costs::CostModel;
 pub use fault::{FaultPlan, FaultUnit, RecoveryPolicy};
 pub use kernel::{Kernel, KernelConfig, KernelError, RunReport, SpawnSpec};
 pub use policy::{PolicyKind, PolicyView, ReplacementPolicy};
-pub use probe::{CycleLedger, Event, EventSink, Probe};
+pub use chrome::chrome_trace_json;
+pub use probe::{AttributedLedger, Callsite, CycleLedger, Event, EventSink, Probe, Tag};
 pub use process::{CircuitSpec, Pid, ProcState};
 pub use stats::KernelStats;
 pub use trace::Trace;

@@ -14,7 +14,16 @@
 //! [`CycleLedger::total`] reproduces `cpu.cycles()` exactly and each
 //! cycle lands in exactly one category — the §5.1.3 "where did the time
 //! go" breakdown the paper argues from.
+//!
+//! Every emission additionally carries a [`Tag`] — `(pid, callsite)` —
+//! naming the process the work was done *for* and the kernel code path
+//! that did it. The [`AttributedLedger`] folds the same stream into
+//! per-process × per-callsite × category cycle matrices whose refold
+//! reproduces the global [`CycleLedger`] exactly (conservation survives
+//! attribution), which is what the flamegraph and Chrome-trace
+//! exporters are built on.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use proteus_rfu::TupleKey;
@@ -78,16 +87,22 @@ pub enum Event {
     ConfigLoad {
         /// The tuple now resident.
         key: TupleKey,
+        /// The PFU slot the configuration landed in.
+        pfu: usize,
     },
     /// A resident circuit was evicted to make room.
     Eviction {
         /// The tuple whose circuit was swapped out.
         key: TupleKey,
+        /// The PFU slot vacated.
+        pfu: usize,
     },
     /// A shared configuration changed hands via a state-frame swap.
     StateSwap {
         /// The tuple now owning the shared PFU.
         key: TupleKey,
+        /// The shared PFU slot.
+        pfu: usize,
     },
     /// The fault was resolved by mapping the software alternative.
     SoftwareInstall {
@@ -251,9 +266,15 @@ impl fmt::Display for Event {
                 key.cid,
                 if *evicted { " +evict" } else { "" }
             ),
-            Event::ConfigLoad { key } => write!(f, "load ({}, {})", key.pid, key.cid),
-            Event::Eviction { key } => write!(f, "evict ({}, {})", key.pid, key.cid),
-            Event::StateSwap { key } => write!(f, "state-swap ({}, {})", key.pid, key.cid),
+            Event::ConfigLoad { key, pfu } => {
+                write!(f, "load ({}, {}) -> pfu={pfu}", key.pid, key.cid)
+            }
+            Event::Eviction { key, pfu } => {
+                write!(f, "evict ({}, {}) <- pfu={pfu}", key.pid, key.cid)
+            }
+            Event::StateSwap { key, pfu } => {
+                write!(f, "state-swap ({}, {}) pfu={pfu}", key.pid, key.cid)
+            }
             Event::SoftwareInstall { key } => write!(f, "soft-map ({}, {})", key.pid, key.cid),
             Event::BusTransfer { words, .. } => write!(f, "bus {words}w"),
             Event::Syscall { pid, number, .. } => write!(f, "swi pid={pid} #{number}"),
@@ -284,7 +305,10 @@ impl fmt::Display for Event {
 impl Event {
     /// Render as one JSON object (hand-rolled; the workspace carries no
     /// serialization dependency) for the `repro --trace` timeline dump.
-    pub fn to_json(&self, at: u64) -> String {
+    /// `tag` records the attribution: `by` is the process the work was
+    /// done for (0 = kernel housekeeping) and `callsite` the emitting
+    /// kernel path.
+    pub fn to_json(&self, at: u64, tag: Tag) -> String {
         fn key_fields(key: &TupleKey) -> String {
             format!("\"pid\":{},\"cid\":{}", key.pid, key.cid)
         }
@@ -307,9 +331,15 @@ impl Event {
                 "\"kind\":\"tlb_program\",{},\"soft\":{soft},\"evicted\":{evicted},\"cost\":{cost}",
                 key_fields(key)
             ),
-            Event::ConfigLoad { key } => format!("\"kind\":\"config_load\",{}", key_fields(key)),
-            Event::Eviction { key } => format!("\"kind\":\"eviction\",{}", key_fields(key)),
-            Event::StateSwap { key } => format!("\"kind\":\"state_swap\",{}", key_fields(key)),
+            Event::ConfigLoad { key, pfu } => {
+                format!("\"kind\":\"config_load\",{},\"pfu\":{pfu}", key_fields(key))
+            }
+            Event::Eviction { key, pfu } => {
+                format!("\"kind\":\"eviction\",{},\"pfu\":{pfu}", key_fields(key))
+            }
+            Event::StateSwap { key, pfu } => {
+                format!("\"kind\":\"state_swap\",{},\"pfu\":{pfu}", key_fields(key))
+            }
             Event::SoftwareInstall { key } => {
                 format!("\"kind\":\"software_install\",{}", key_fields(key))
             }
@@ -346,7 +376,103 @@ impl Event {
             ),
             Event::Quarantine { pfu } => format!("\"kind\":\"quarantine\",\"pfu\":{pfu}"),
         };
-        format!("{{\"cycle\":{at},{body}}}")
+        format!(
+            "{{\"cycle\":{at},\"by\":{},\"callsite\":\"{}\",{body}}}",
+            tag.pid,
+            tag.callsite.name()
+        )
+    }
+}
+
+/// The kernel code path an event was emitted from — the second axis of
+/// the attribution matrix (the first is the process). The taxonomy is
+/// deliberately small and static: one variant per emit site family, so
+/// a flamegraph frame names *why* the kernel was running, not just what
+/// it cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Callsite {
+    /// Guest execution (user instructions and the dispatch split made
+    /// by [`AttributedLedger`]: custom-execute under
+    /// [`Callsite::HwDispatch`], handler cycles under
+    /// [`Callsite::SwDispatch`]).
+    Compute,
+    /// Custom instructions executed on PFU hardware.
+    HwDispatch,
+    /// The software-dispatch route: handler execution and the TLB2
+    /// programming that installs it.
+    SwDispatch,
+    /// The custom-instruction fault handler's entry and mapping-fault
+    /// repairs (§4.2's fast path).
+    TlbMiss,
+    /// Full configuration traffic: placement loads, evictions,
+    /// state-frame swaps and the TLB programming that publishes them.
+    Reconfiguration,
+    /// Scheduler work: context switches, timer ticks, process lifecycle
+    /// markers.
+    ContextSwitch,
+    /// System-call entry/exit.
+    Syscall,
+    /// Periodic configuration scrub: CRC sweeps and in-place repairs.
+    Scrub,
+    /// The watchdog-trip recovery ladder (retry → failover →
+    /// quarantine) and transit verification of fresh loads.
+    FaultRungs,
+    /// The machine sat idle.
+    Idle,
+}
+
+impl Callsite {
+    /// Every callsite, in the stable order used by exports.
+    pub const ALL: [Callsite; 10] = [
+        Callsite::Compute,
+        Callsite::HwDispatch,
+        Callsite::SwDispatch,
+        Callsite::TlbMiss,
+        Callsite::Reconfiguration,
+        Callsite::ContextSwitch,
+        Callsite::Syscall,
+        Callsite::Scrub,
+        Callsite::FaultRungs,
+        Callsite::Idle,
+    ];
+
+    /// Stable lower-case name (folded stacks, JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Callsite::Compute => "compute",
+            Callsite::HwDispatch => "hw_dispatch",
+            Callsite::SwDispatch => "sw_dispatch",
+            Callsite::TlbMiss => "tlb_miss",
+            Callsite::Reconfiguration => "reconfig",
+            Callsite::ContextSwitch => "context_switch",
+            Callsite::Syscall => "syscall",
+            Callsite::Scrub => "scrub",
+            Callsite::FaultRungs => "fault_rungs",
+            Callsite::Idle => "idle",
+        }
+    }
+}
+
+/// The attribution stamp every emission carries: which process the work
+/// was done *for* (`pid` 0 = kernel housekeeping not chargeable to any
+/// process, e.g. idle) and which kernel path did it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tag {
+    /// Beneficiary process (0 = none/kernel).
+    pub pid: Pid,
+    /// Emitting kernel path.
+    pub callsite: Callsite,
+}
+
+impl Tag {
+    /// A tag charging `callsite` work to process `pid`.
+    pub fn new(pid: Pid, callsite: Callsite) -> Self {
+        Self { pid, callsite }
+    }
+
+    /// Kernel housekeeping not chargeable to any process (pid 0).
+    pub fn kernel(callsite: Callsite) -> Self {
+        Self { pid: 0, callsite }
     }
 }
 
@@ -354,8 +480,9 @@ impl Event {
 /// accumulate state from the events they see but must not feed back
 /// into the simulation.
 pub trait EventSink: Send {
-    /// Observe one event, stamped at simulated cycle `at`.
-    fn on_event(&mut self, at: u64, event: &Event);
+    /// Observe one event, stamped at simulated cycle `at` and
+    /// attributed by `tag`.
+    fn on_event(&mut self, at: u64, tag: Tag, event: &Event);
 }
 
 /// Where every simulated cycle went — the paper's §5.1.3 discussion as
@@ -470,7 +597,7 @@ impl CycleLedger {
 }
 
 impl EventSink for CycleLedger {
-    fn on_event(&mut self, _at: u64, event: &Event) {
+    fn on_event(&mut self, _at: u64, _tag: Tag, event: &Event) {
         match *event {
             Event::Compute { user, custom, soft, .. } => {
                 self.user_compute += user;
@@ -505,11 +632,172 @@ impl EventSink for CycleLedger {
     }
 }
 
+/// The per-process × per-callsite × category cycle matrix: the same
+/// fold as [`CycleLedger`], but keyed by each event's [`Tag`], so the
+/// global breakdown can be sliced by *who* the work was for and *which*
+/// kernel path did it.
+///
+/// Conservation survives attribution by construction: every event's
+/// category delta lands in exactly one `(pid, callsite)` cell, so
+/// [`AttributedLedger::refold`] reproduces the global ledger and
+/// [`AttributedLedger::total`] equals the simulated clock. Cells are a
+/// `BTreeMap`, so iteration (and every export built on it) is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AttributedLedger {
+    cells: BTreeMap<(Pid, Callsite), CycleLedger>,
+}
+
+impl AttributedLedger {
+    fn cell(&mut self, pid: Pid, callsite: Callsite) -> &mut CycleLedger {
+        self.cells.entry((pid, callsite)).or_default()
+    }
+
+    /// Attribute a compute span, splitting it across the dispatch
+    /// callsites: user cycles under [`Callsite::Compute`],
+    /// custom-execute under [`Callsite::HwDispatch`], handler cycles
+    /// under [`Callsite::SwDispatch`]. Also the
+    /// [`Probe::compute_span`] fast path, so it must stay equivalent to
+    /// folding an [`Event::Compute`].
+    pub fn add_compute(&mut self, pid: Pid, user: u64, custom: u64, soft: u64) {
+        if user > 0 {
+            self.cell(pid, Callsite::Compute).user_compute += user;
+        }
+        if custom > 0 {
+            self.cell(pid, Callsite::HwDispatch).custom_execute += custom;
+        }
+        if soft > 0 {
+            self.cell(pid, Callsite::SwDispatch).soft_dispatch += soft;
+        }
+    }
+
+    /// Attribute an idle span (the [`Probe::idle_span`] fast path).
+    pub fn add_idle(&mut self, cycles: u64) {
+        if cycles > 0 {
+            self.cell(0, Callsite::Idle).idle += cycles;
+        }
+    }
+
+    /// Iterate the non-empty cells in deterministic `(pid, callsite)`
+    /// order.
+    pub fn cells(&self) -> impl Iterator<Item = (Pid, Callsite, &CycleLedger)> + '_ {
+        self.cells.iter().map(|(&(pid, callsite), ledger)| (pid, callsite, ledger))
+    }
+
+    /// True when nothing has been attributed.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Collapse the matrix back into one global [`CycleLedger`]. Equals
+    /// the kernel's own ledger over the same stream — the conservation
+    /// law extended through attribution.
+    pub fn refold(&self) -> CycleLedger {
+        let mut out = CycleLedger::default();
+        for ledger in self.cells.values() {
+            out.absorb(ledger);
+        }
+        out
+    }
+
+    /// Total attributed cycles (equals the simulated clock over a run).
+    pub fn total(&self) -> u64 {
+        self.cells.values().map(CycleLedger::total).sum()
+    }
+
+    /// Merge another matrix into this one (cell-wise; used by the
+    /// runner to assemble per-job matrices into a figure-wide one —
+    /// u64 sums commute, so assembly order cannot affect the result).
+    pub fn absorb(&mut self, other: &AttributedLedger) {
+        for (&(pid, callsite), ledger) in &other.cells {
+            self.cell(pid, callsite).absorb(ledger);
+        }
+    }
+
+    /// Render as Brendan-Gregg folded stacks — one
+    /// `scenario;pid<N>;<callsite>;<category> <cycles>` line per
+    /// non-zero cell/category pair, in deterministic order — directly
+    /// consumable by `flamegraph.pl` or inferno.
+    pub fn to_folded(&self, scenario: &str) -> String {
+        let mut out = String::new();
+        for (pid, callsite, ledger) in self.cells() {
+            for (name, value) in CycleLedger::CATEGORIES.iter().zip(ledger.values()) {
+                if value > 0 {
+                    out.push_str(&format!(
+                        "{scenario};pid{pid};{};{name} {value}\n",
+                        callsite.name()
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// The `k` largest `(pid, callsite, category, cycles)` sinks,
+    /// largest first (ties broken by cell order for determinism).
+    pub fn top_sinks(&self, k: usize) -> Vec<(Pid, Callsite, &'static str, u64)> {
+        let mut flat: Vec<(Pid, Callsite, &'static str, u64)> = Vec::new();
+        for (pid, callsite, ledger) in self.cells() {
+            for (name, value) in CycleLedger::CATEGORIES.iter().zip(ledger.values()) {
+                if value > 0 {
+                    flat.push((pid, callsite, name, value));
+                }
+            }
+        }
+        flat.sort_by(|a, b| b.3.cmp(&a.3).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        flat.truncate(k);
+        flat
+    }
+
+    /// Render as a JSON array of the top-`k` sinks (for
+    /// `summary.json`).
+    pub fn top_sinks_json(&self, k: usize) -> String {
+        let mut out = String::from("[");
+        for (i, (pid, callsite, category, cycles)) in self.top_sinks(k).iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"pid\":{pid},\"callsite\":\"{}\",\"category\":\"{category}\",\
+                 \"cycles\":{cycles}}}",
+                callsite.name()
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+impl EventSink for AttributedLedger {
+    fn on_event(&mut self, at: u64, tag: Tag, event: &Event) {
+        match *event {
+            // Compute spans split across the dispatch callsites; the
+            // event's own pid equals the tag's.
+            Event::Compute { pid, user, custom, soft, .. } => {
+                self.add_compute(pid, user, custom, soft);
+            }
+            // Everything else books its category delta into the tag's
+            // cell. Routing through the CycleLedger fold keeps the
+            // category mapping single-sourced, so refold == global
+            // ledger by construction.
+            _ => {
+                let mut delta = CycleLedger::default();
+                delta.on_event(at, tag, event);
+                if delta.total() > 0 {
+                    self.cell(tag.pid, tag.callsite).absorb(&delta);
+                }
+            }
+        }
+    }
+}
+
 /// The fan-out point: one `emit` call feeds the stats fold, the cycle
-/// ledger, the bounded trace, and any extra sinks the embedder added.
+/// ledger, the attribution matrix, the bounded trace, and any extra
+/// sinks the embedder added.
 pub struct Probe {
     stats: KernelStats,
     ledger: CycleLedger,
+    attributed: AttributedLedger,
     trace: Trace,
     extra: Vec<Box<dyn EventSink>>,
 }
@@ -519,6 +807,7 @@ impl fmt::Debug for Probe {
         f.debug_struct("Probe")
             .field("stats", &self.stats)
             .field("ledger", &self.ledger)
+            .field("attributed", &self.attributed)
             .field("trace", &self.trace)
             .field("extra_sinks", &self.extra.len())
             .finish()
@@ -532,18 +821,21 @@ impl Probe {
         Self {
             stats: KernelStats::default(),
             ledger: CycleLedger::default(),
+            attributed: AttributedLedger::default(),
             trace: Trace::with_capacity(trace_capacity),
             extra: Vec::new(),
         }
     }
 
-    /// Emit one event at simulated cycle `at` to every sink.
-    pub fn emit(&mut self, at: u64, event: Event) {
-        self.stats.on_event(at, &event);
-        self.ledger.on_event(at, &event);
-        self.trace.on_event(at, &event);
+    /// Emit one event at simulated cycle `at`, attributed by `tag`, to
+    /// every sink.
+    pub fn emit(&mut self, at: u64, tag: Tag, event: Event) {
+        self.stats.on_event(at, tag, &event);
+        self.ledger.on_event(at, tag, &event);
+        self.attributed.on_event(at, tag, &event);
+        self.trace.on_event(at, tag, &event);
         for sink in &mut self.extra {
-            sink.on_event(at, &event);
+            sink.on_event(at, tag, &event);
         }
     }
 
@@ -558,9 +850,11 @@ impl Probe {
     }
 
     /// Attribute a completed compute span: the fast-path equivalent of
-    /// emitting [`Event::Compute`]. The ledger is the only built-in fold
-    /// that consumes compute spans ([`KernelStats`] ignores them), so
-    /// with no other observers attached this is three adds.
+    /// emitting [`Event::Compute`]. The ledger and attribution matrix
+    /// are the only built-in folds that consume compute spans
+    /// ([`KernelStats`] ignores them), so with no other observers
+    /// attached this skips `Event` construction and updates them
+    /// directly — the observable totals are identical either way.
     #[inline]
     #[allow(clippy::too_many_arguments)]
     pub fn compute_span(
@@ -574,11 +868,16 @@ impl Probe {
         sw_dispatches: u64,
     ) {
         if self.needs_events() {
-            self.emit(at, Event::Compute { pid, user, custom, soft, hw_dispatches, sw_dispatches });
+            self.emit(
+                at,
+                Tag::new(pid, Callsite::Compute),
+                Event::Compute { pid, user, custom, soft, hw_dispatches, sw_dispatches },
+            );
         } else {
             self.ledger.user_compute += user;
             self.ledger.custom_execute += custom;
             self.ledger.soft_dispatch += soft;
+            self.attributed.add_compute(pid, user, custom, soft);
         }
     }
 
@@ -587,9 +886,10 @@ impl Probe {
     #[inline]
     pub fn idle_span(&mut self, at: u64, cycles: u64) {
         if self.needs_events() {
-            self.emit(at, Event::Idle { cycles });
+            self.emit(at, Tag::kernel(Callsite::Idle), Event::Idle { cycles });
         } else {
             self.ledger.idle += cycles;
+            self.attributed.add_idle(cycles);
         }
     }
 
@@ -601,6 +901,11 @@ impl Probe {
     /// The folded cycle-attribution ledger.
     pub fn ledger(&self) -> &CycleLedger {
         &self.ledger
+    }
+
+    /// The per-process × per-callsite attribution matrix.
+    pub fn attributed(&self) -> &AttributedLedger {
+        &self.attributed
     }
 
     /// The bounded event timeline.
@@ -623,14 +928,17 @@ mod tests {
     fn ledger_folds_costs_into_categories() {
         let mut probe = Probe::new(16);
         let key = TupleKey::new(1, 0);
-        probe.emit(0, Event::Spawn { pid: 1 });
-        probe.emit(10, Event::Compute { pid: 1, user: 7, custom: 2, soft: 1, hw_dispatches: 1, sw_dispatches: 1 });
-        probe.emit(10, Event::Fault { key, cost: 120 });
-        probe.emit(10, Event::BusTransfer { words: 100, cost: 164 });
-        probe.emit(10, Event::ConfigLoad { key });
-        probe.emit(10, Event::TlbProgram { key, soft: false, evicted: true, cost: 12 });
-        probe.emit(306, Event::Syscall { pid: 1, number: 0, cost: 40 });
-        probe.emit(306, Event::Idle { cycles: 50 });
+        let sched = Tag::new(1, Callsite::ContextSwitch);
+        let miss = Tag::new(1, Callsite::TlbMiss);
+        let reconf = Tag::new(1, Callsite::Reconfiguration);
+        probe.emit(0, sched, Event::Spawn { pid: 1 });
+        probe.emit(10, Tag::new(1, Callsite::Compute), Event::Compute { pid: 1, user: 7, custom: 2, soft: 1, hw_dispatches: 1, sw_dispatches: 1 });
+        probe.emit(10, miss, Event::Fault { key, cost: 120 });
+        probe.emit(10, reconf, Event::BusTransfer { words: 100, cost: 164 });
+        probe.emit(10, reconf, Event::ConfigLoad { key, pfu: 0 });
+        probe.emit(10, reconf, Event::TlbProgram { key, soft: false, evicted: true, cost: 12 });
+        probe.emit(306, Tag::new(1, Callsite::Syscall), Event::Syscall { pid: 1, number: 0, cost: 40 });
+        probe.emit(306, Tag::kernel(Callsite::Idle), Event::Idle { cycles: 50 });
 
         let l = probe.ledger();
         assert_eq!(l.user_compute, 7);
@@ -651,19 +959,75 @@ mod tests {
         assert_eq!(s.syscalls, 1);
 
         assert_eq!(probe.trace().len(), 8);
+
+        // Attribution conserves: the matrix refolds to the ledger, and
+        // the cells land where the tags said.
+        let a = probe.attributed();
+        assert_eq!(&a.refold(), l);
+        assert_eq!(a.total(), l.total());
+        let cells: Vec<(Pid, Callsite, u64)> =
+            a.cells().map(|(p, c, lg)| (p, c, lg.total())).collect();
+        assert_eq!(
+            cells,
+            vec![
+                (0, Callsite::Idle, 50),
+                (1, Callsite::Compute, 7),
+                (1, Callsite::HwDispatch, 2),
+                (1, Callsite::SwDispatch, 1),
+                (1, Callsite::TlbMiss, 120),
+                (1, Callsite::Reconfiguration, 164 + 12),
+                (1, Callsite::Syscall, 40),
+            ]
+        );
+    }
+
+    #[test]
+    fn folded_stacks_and_top_sinks_are_deterministic() {
+        let mut probe = Probe::new(16);
+        let key = TupleKey::new(2, 0);
+        probe.emit(10, Tag::new(2, Callsite::Compute), Event::Compute { pid: 2, user: 500, custom: 80, soft: 0, hw_dispatches: 4, sw_dispatches: 0 });
+        probe.emit(20, Tag::new(2, Callsite::TlbMiss), Event::Fault { key, cost: 120 });
+        probe.emit(30, Tag::kernel(Callsite::Idle), Event::Idle { cycles: 9 });
+
+        let folded = probe.attributed().to_folded("demo");
+        assert_eq!(
+            folded,
+            "demo;pid0;idle;idle 9\n\
+             demo;pid2;compute;user_compute 500\n\
+             demo;pid2;hw_dispatch;custom_execute 80\n\
+             demo;pid2;tlb_miss;fault_handling 120\n"
+        );
+        // Folded per-category sums reproduce the global ledger.
+        let mut by_category: BTreeMap<&str, u64> = BTreeMap::new();
+        for line in folded.lines() {
+            let (stack, value) = line.rsplit_once(' ').expect("line has a count");
+            let category = stack.rsplit(';').next().expect("has a category frame");
+            *by_category.entry(category).or_default() += value.parse::<u64>().expect("count");
+        }
+        for (name, value) in CycleLedger::CATEGORIES.iter().zip(probe.ledger().values()) {
+            assert_eq!(by_category.get(name).copied().unwrap_or(0), value, "{name}");
+        }
+
+        let top = probe.attributed().top_sinks(2);
+        assert_eq!(top[0], (2, Callsite::Compute, "user_compute", 500));
+        assert_eq!(top[1], (2, Callsite::TlbMiss, "fault_handling", 120));
+        let json = probe.attributed().top_sinks_json(2);
+        assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+        assert!(json.contains("\"callsite\":\"compute\""), "{json}");
     }
 
     #[test]
     fn fault_events_fold_into_their_own_categories() {
         let mut probe = Probe::new(16);
         let key = TupleKey::new(2, 1);
-        probe.emit(5, Event::SeuStrike { pfu: 1 });
-        probe.emit(9, Event::PfuFault { key, pfu: 1, kind: PfuFaultKind::CrcMismatch, cost: 250 });
-        probe.emit(9, Event::RecoveryRetry { key, pfu: 1, attempt: 1, words: 13_500, cost: 13_600 });
-        probe.emit(20, Event::ScrubCheck { pfu: 0, corrupt: false, cost: 30 });
-        probe.emit(33, Event::PfuFault { key, pfu: 2, kind: PfuFaultKind::Watchdog, cost: 400 });
-        probe.emit(33, Event::SoftwareFailover { key, pfu: 2, cost: 12 });
-        probe.emit(40, Event::Quarantine { pfu: 2 });
+        let rungs = Tag::new(2, Callsite::FaultRungs);
+        probe.emit(5, Tag::kernel(Callsite::Scrub), Event::SeuStrike { pfu: 1 });
+        probe.emit(9, rungs, Event::PfuFault { key, pfu: 1, kind: PfuFaultKind::CrcMismatch, cost: 250 });
+        probe.emit(9, rungs, Event::RecoveryRetry { key, pfu: 1, attempt: 1, words: 13_500, cost: 13_600 });
+        probe.emit(20, Tag::kernel(Callsite::Scrub), Event::ScrubCheck { pfu: 0, corrupt: false, cost: 30 });
+        probe.emit(33, rungs, Event::PfuFault { key, pfu: 2, kind: PfuFaultKind::Watchdog, cost: 400 });
+        probe.emit(33, rungs, Event::SoftwareFailover { key, pfu: 2, cost: 12 });
+        probe.emit(40, rungs, Event::Quarantine { pfu: 2 });
 
         let l = probe.ledger();
         assert_eq!(l.fault_detection, 250 + 30 + 400);
@@ -696,6 +1060,7 @@ mod tests {
         slow.idle_span(60, 50);
 
         assert_eq!(fast.ledger(), slow.ledger());
+        assert_eq!(fast.attributed(), slow.attributed(), "attribution matches too");
         assert_eq!(fast.trace().len(), 0);
         assert_eq!(slow.trace().len(), 2, "observers still get the events");
     }
@@ -704,7 +1069,7 @@ mod tests {
     fn extra_sinks_flip_spans_back_to_events() {
         struct Seen(std::sync::mpsc::Sender<String>);
         impl EventSink for Seen {
-            fn on_event(&mut self, _at: u64, event: &Event) {
+            fn on_event(&mut self, _at: u64, _tag: Tag, event: &Event) {
                 let _ = self.0.send(event.to_string());
             }
         }
@@ -722,24 +1087,30 @@ mod tests {
     fn extra_sinks_see_every_event() {
         struct Counter(std::sync::mpsc::Sender<u64>);
         impl EventSink for Counter {
-            fn on_event(&mut self, at: u64, _event: &Event) {
+            fn on_event(&mut self, at: u64, _tag: Tag, _event: &Event) {
                 let _ = self.0.send(at);
             }
         }
         let (tx, rx) = std::sync::mpsc::channel();
         let mut probe = Probe::new(0);
         probe.add_sink(Box::new(Counter(tx)));
-        probe.emit(5, Event::Spawn { pid: 1 });
-        probe.emit(9, Event::Exit { pid: 1, code: 0 });
+        let sched = Tag::new(1, Callsite::ContextSwitch);
+        probe.emit(5, sched, Event::Spawn { pid: 1 });
+        probe.emit(9, sched, Event::Exit { pid: 1, code: 0 });
         assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![5, 9]);
     }
 
     #[test]
     fn event_json_is_one_object_per_event() {
         let key = TupleKey::new(3, 1);
-        let j = Event::Fault { key, cost: 120 }.to_json(42);
-        assert_eq!(j, "{\"cycle\":42,\"kind\":\"fault\",\"pid\":3,\"cid\":1,\"cost\":120}");
-        let j = Event::ContextSwitch { from: None, to: 2, cost: 220 }.to_json(7);
+        let j = Event::Fault { key, cost: 120 }.to_json(42, Tag::new(3, Callsite::TlbMiss));
+        assert_eq!(
+            j,
+            "{\"cycle\":42,\"by\":3,\"callsite\":\"tlb_miss\",\
+             \"kind\":\"fault\",\"pid\":3,\"cid\":1,\"cost\":120}"
+        );
+        let j = Event::ContextSwitch { from: None, to: 2, cost: 220 }
+            .to_json(7, Tag::new(2, Callsite::ContextSwitch));
         assert!(j.contains("\"from\":null"));
         assert!(CycleLedger::default().to_json().contains("\"total\":0"));
     }

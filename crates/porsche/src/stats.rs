@@ -1,6 +1,6 @@
 //! Kernel-level statistics gathered during a run.
 
-use crate::probe::{Event, EventSink};
+use crate::probe::{Event, EventSink, Tag};
 
 /// Counters describing how much management work the kernel performed —
 /// the quantities the paper's discussion (§5.1.3) reasons about.
@@ -60,7 +60,7 @@ impl KernelStats {
 }
 
 impl EventSink for KernelStats {
-    fn on_event(&mut self, _at: u64, event: &Event) {
+    fn on_event(&mut self, _at: u64, _tag: Tag, event: &Event) {
         match *event {
             Event::ContextSwitch { .. } => self.context_switches += 1,
             Event::TimerTick { .. } => self.timer_ticks += 1,

@@ -11,16 +11,16 @@
 use std::collections::VecDeque;
 
 pub use crate::probe::Event;
-use crate::probe::EventSink;
+use crate::probe::{EventSink, Tag};
 
-/// A bounded event timeline of `(cycle, event)` pairs in emission
-/// order. The buffer is a ring: once `capacity` is reached the *oldest*
-/// event is dropped for each new one, so long runs with small
+/// A bounded event timeline of `(cycle, tag, event)` triples in
+/// emission order. The buffer is a ring: once `capacity` is reached the
+/// *oldest* event is dropped for each new one, so long runs with small
 /// capacities keep the interesting tail. [`Trace::dropped`] counts the
 /// discards.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
-    events: VecDeque<(u64, Event)>,
+    events: VecDeque<(u64, Tag, Event)>,
     capacity: usize,
     dropped: u64,
 }
@@ -38,7 +38,7 @@ impl Trace {
     }
 
     /// Record an event at `cycle`, evicting the oldest entry when full.
-    pub fn record(&mut self, cycle: u64, event: Event) {
+    pub fn record(&mut self, cycle: u64, tag: Tag, event: Event) {
         if self.capacity == 0 {
             return;
         }
@@ -46,7 +46,7 @@ impl Trace {
             self.events.pop_front();
             self.dropped += 1;
         }
-        self.events.push_back((cycle, event));
+        self.events.push_back((cycle, tag, event));
     }
 
     /// Number of retained events.
@@ -65,19 +65,19 @@ impl Trace {
     }
 
     /// Iterate the retained timeline, oldest first.
-    pub fn iter(&self) -> impl Iterator<Item = (u64, Event)> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Tag, Event)> + '_ {
         self.events.iter().copied()
     }
 
     /// The retained timeline as a contiguous vector (oldest first).
-    pub fn snapshot(&self) -> Vec<(u64, Event)> {
+    pub fn snapshot(&self) -> Vec<(u64, Tag, Event)> {
         self.iter().collect()
     }
 
     /// Render as one line per event.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        for (cycle, e) in &self.events {
+        for (cycle, _, e) in &self.events {
             out.push_str(&format!("{cycle:>12} {e}\n"));
         }
         out
@@ -85,8 +85,8 @@ impl Trace {
 }
 
 impl EventSink for Trace {
-    fn on_event(&mut self, at: u64, event: &Event) {
-        self.record(at, *event);
+    fn on_event(&mut self, at: u64, tag: Tag, event: &Event) {
+        self.record(at, tag, *event);
     }
 }
 
@@ -94,15 +94,18 @@ impl EventSink for Trace {
 mod tests {
     use super::*;
 
+    use crate::probe::Callsite;
+
     #[test]
     fn ring_keeps_latest_events_and_counts_drops() {
         let mut t = Trace::with_capacity(2);
+        let tag = Tag::new(1, Callsite::ContextSwitch);
         for i in 0..5 {
-            t.record(i, Event::TimerTick { pid: 1, cost: 60 });
+            t.record(i, tag, Event::TimerTick { pid: 1, cost: 60 });
         }
         assert_eq!(t.len(), 2);
         assert_eq!(t.dropped(), 3);
-        let cycles: Vec<u64> = t.iter().map(|(c, _)| c).collect();
+        let cycles: Vec<u64> = t.iter().map(|(c, _, _)| c).collect();
         assert_eq!(cycles, vec![3, 4], "latest events survive");
         assert!(t.enabled());
         assert!(!Trace::with_capacity(0).enabled());
@@ -112,8 +115,9 @@ mod tests {
     #[test]
     fn text_rendering_is_one_line_per_event() {
         let mut t = Trace::with_capacity(8);
-        t.record(10, Event::Spawn { pid: 1 });
-        t.record(20, Event::Exit { pid: 1, code: 0 });
+        let tag = Tag::new(1, Callsite::ContextSwitch);
+        t.record(10, tag, Event::Spawn { pid: 1 });
+        t.record(20, tag, Event::Exit { pid: 1, code: 0 });
         let text = t.to_text();
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("spawn pid=1"));

@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 use porsche::cis::DispatchMode;
 use porsche::kernel::{KernelConfig, KernelError};
 use porsche::policy::PolicyKind;
-use porsche::probe::{CycleLedger, Event};
+use porsche::probe::{AttributedLedger, CycleLedger, Event, Tag};
 use porsche::process::Pid;
 use porsche::stats::KernelStats;
 use proteus_apps::workload::{WorkloadConfig, WorkloadSpec};
@@ -97,9 +97,13 @@ pub struct DynamicResult {
     /// Where every simulated cycle (including inter-arrival idle time)
     /// went.
     pub ledger: CycleLedger,
+    /// The same cycles attributed per process × emit site.
+    pub attributed: AttributedLedger,
     /// Timeline events, oldest first (empty unless
     /// [`DynamicLoad::trace_capacity`] was set).
-    pub trace: Vec<(u64, Event)>,
+    pub trace: Vec<(u64, Tag, Event)>,
+    /// Events the trace ring discarded once full.
+    pub trace_dropped: u64,
     /// Total simulated cycles (== `ledger.total()`).
     pub total_cycles: u64,
     /// Every job exited with its reference checksum.
@@ -175,7 +179,9 @@ impl DynamicLoad {
             makespan: report.makespan,
             stats: report.stats,
             ledger: report.ledger,
+            attributed: report.attributed,
             trace: machine.kernel().trace().snapshot(),
+            trace_dropped: machine.kernel().trace().dropped(),
             total_cycles: machine.cycles(),
             turnarounds,
             valid,
@@ -245,7 +251,7 @@ mod tests {
             let spawn = result
                 .trace
                 .iter()
-                .find_map(|&(at, e)| match e {
+                .find_map(|&(at, _, e)| match e {
                     Event::Spawn { pid: p } if p == pid => Some(at),
                     _ => None,
                 })
@@ -253,7 +259,7 @@ mod tests {
             let exit = result
                 .trace
                 .iter()
-                .find_map(|&(at, e)| match e {
+                .find_map(|&(at, _, e)| match e {
                     Event::Exit { pid: p, .. } if p == pid => Some(at),
                     _ => None,
                 })

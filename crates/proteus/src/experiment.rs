@@ -133,6 +133,64 @@ pub fn plan_for(name: &str, scale: &Scale) -> Option<ExperimentPlan> {
     })
 }
 
+/// What a profiling/tracing flag's name argument resolved to: a figure
+/// from the [`EXPERIMENTS`] registry, or a single demo scenario of one
+/// application (the `--trace` workloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunTarget {
+    /// A registered experiment plan (use [`plan_for`]).
+    Experiment(&'static str),
+    /// A one-application demo scenario (use [`demo_scenario`]).
+    Demo(AppKind),
+}
+
+impl RunTarget {
+    /// The canonical name (registry spelling or app name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RunTarget::Experiment(name) => name,
+            RunTarget::Demo(app) => app.name(),
+        }
+    }
+}
+
+/// Resolve a user-supplied scenario name for `--trace` / `--flame` /
+/// `--chrome-trace`: experiment names come from the [`EXPERIMENTS`]
+/// registry (never a hardcoded subset), app names from
+/// [`AppKind::ALL`].
+///
+/// # Errors
+///
+/// An unknown name returns the full list of valid spellings, so the
+/// error message stays in sync with the registry by construction.
+pub fn resolve_target(name: &str) -> Result<RunTarget, String> {
+    if let Some(&canonical) = EXPERIMENTS.iter().find(|&&e| e == name) {
+        return Ok(RunTarget::Experiment(canonical));
+    }
+    if let Some(&app) = AppKind::ALL.iter().find(|a| a.name() == name) {
+        return Ok(RunTarget::Demo(app));
+    }
+    let apps: Vec<&str> = AppKind::ALL.iter().map(|a| a.name()).collect();
+    Err(format!(
+        "unknown scenario '{name}'; valid experiments: {}; valid demo apps: {}",
+        EXPERIMENTS.join(", "),
+        apps.join(", ")
+    ))
+}
+
+/// The contended single-application demo used by `repro --trace` (and
+/// as the `--flame`/`--chrome-trace` demo target): enough instances to
+/// overlap on four PFUs, with a trace ring large enough to usually keep
+/// the whole timeline.
+pub fn demo_scenario(app: AppKind, quick: bool) -> Scenario {
+    let (instances, passes) = if quick { (3, 4) } else { (5, 12) };
+    Scenario::new(app)
+        .instances(instances)
+        .passes(passes)
+        .quantum(QUANTUM_1MS)
+        .trace_capacity(1 << 20)
+}
+
 fn quantum_label(q: u64) -> &'static str {
     match q {
         QUANTUM_10MS => "10ms",
@@ -499,6 +557,7 @@ pub fn dynamic_load_plan(scale: &Scale) -> ExperimentPlan {
                 assert!(result.valid, "{name} gap={gap}: checksum mismatch");
                 JobOutput::point(gap as f64, result.mean_turnaround, result.makespan)
                     .with_breakdown(gap as f64, result.total_cycles, result.ledger)
+                    .with_attribution(result.attributed)
             });
         }
     }
@@ -637,6 +696,7 @@ fn fault_campaign_cell(plan: &mut ExperimentPlan, series: String, x: f64, scenar
         let overhead = result.ledger.fault_detection + result.ledger.fault_recovery;
         JobOutput::point(x, result.makespan as f64, result.makespan)
             .with_breakdown(x, result.total_cycles, result.ledger)
+            .with_attribution(result.attributed)
             .with_extra(outcome_series, x, code)
             .with_extra(overhead_series, x, overhead as f64)
     });
@@ -700,6 +760,7 @@ pub fn ablation_long_instructions_plan() -> ExperimentPlan {
                 points: vec![(0.0, overshoot as f64), (1.0, report.makespan as f64)],
                 sim_cycles: report.makespan,
                 breakdown: vec![(0.0, machine.cycles(), report.ledger)],
+                attributed: report.attributed,
                 extra: Vec::new(),
             }
         });

@@ -47,7 +47,7 @@ pub mod series;
 
 pub use dynamic::{DynamicLoad, DynamicResult};
 pub use machine::{Machine, MachineConfig};
-pub use porsche::{CycleLedger, Event, EventSink, Probe};
+pub use porsche::{AttributedLedger, Callsite, CycleLedger, Event, EventSink, Probe, Tag};
 pub use runner::{ExperimentPlan, JobOutput, PlanMetrics, ScenarioJob};
 pub use scenario::{Scenario, ScenarioResult};
 pub use series::{BreakdownRow, BreakdownSet, Point, Series, SeriesSet};

@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-use porsche::probe::CycleLedger;
+use porsche::probe::{AttributedLedger, CycleLedger};
 
 use crate::scenario::Scenario;
 use crate::series::{BreakdownRow, BreakdownSet, Series, SeriesSet};
@@ -46,6 +46,10 @@ pub struct JobOutput {
     /// `(x, total_cycles, ledger)` cycle-attribution rows appended to the
     /// plan's [`BreakdownSet`], in order.
     pub breakdown: Vec<(f64, u64, CycleLedger)>,
+    /// Per-process × per-callsite attribution, absorbed into the plan's
+    /// merged [`PlanMetrics::attributed`] ledger (cell-wise u64 sums, so
+    /// the merge commutes and worker count cannot affect the result).
+    pub attributed: AttributedLedger,
     /// `(series, x, y)` points appended to *other* named series — for
     /// jobs whose one simulation yields several metrics (the fault
     /// campaign emits makespan on its own series plus an outcome code
@@ -57,13 +61,27 @@ pub struct JobOutput {
 impl JobOutput {
     /// The common case: one `(x, y)` point, no breakdown.
     pub fn point(x: f64, y: f64, sim_cycles: u64) -> Self {
-        Self { points: vec![(x, y)], sim_cycles, breakdown: Vec::new(), extra: Vec::new() }
+        Self {
+            points: vec![(x, y)],
+            sim_cycles,
+            breakdown: Vec::new(),
+            attributed: AttributedLedger::default(),
+            extra: Vec::new(),
+        }
     }
 
     /// Attach a cycle-attribution row for `x`.
     #[must_use]
     pub fn with_breakdown(mut self, x: f64, total: u64, ledger: CycleLedger) -> Self {
         self.breakdown.push((x, total, ledger));
+        self
+    }
+
+    /// Attach the run's per-process × per-callsite ledger (absorbed into
+    /// the plan-wide fold that feeds the flamegraph exporter).
+    #[must_use]
+    pub fn with_attribution(mut self, attributed: AttributedLedger) -> Self {
+        self.attributed.absorb(&attributed);
         self
     }
 
@@ -134,6 +152,9 @@ pub struct PlanMetrics {
     pub sim_cycles: u64,
     /// Cycle-attribution rows contributed by the jobs, in plan order.
     pub breakdown: BreakdownSet,
+    /// All jobs' per-process × per-callsite ledgers merged cell-wise —
+    /// the source of `results/flamegraph_<figure>.folded`.
+    pub attributed: AttributedLedger,
 }
 
 impl PlanMetrics {
@@ -180,11 +201,9 @@ impl ExperimentPlan {
         self.push_job(series, move || {
             let result = scenario.run().unwrap_or_else(|e| panic!("{label} x={x}: {e}"));
             assert!(result.all_valid(), "{label} x={x}: checksum mismatch");
-            JobOutput::point(x, result.makespan as f64, result.makespan).with_breakdown(
-                x,
-                result.total_cycles,
-                result.ledger,
-            )
+            JobOutput::point(x, result.makespan as f64, result.makespan)
+                .with_breakdown(x, result.total_cycles, result.ledger)
+                .with_attribution(result.attributed)
         });
     }
 
@@ -281,6 +300,7 @@ impl ExperimentPlan {
         let job_times = std::env::var_os("PROTEUS_JOB_TIMES").is_some();
         let mut set = SeriesSet::new(figure.clone());
         let mut breakdown = BreakdownSet::new(figure.clone());
+        let mut attributed = AttributedLedger::default();
         let mut job_wall = Duration::ZERO;
         let mut sim_cycles = 0u64;
         for (i, name) in names.iter().enumerate() {
@@ -301,6 +321,7 @@ impl ExperimentPlan {
             }
             job_wall += dur;
             sim_cycles += output.sim_cycles;
+            attributed.absorb(&output.attributed);
             for (x, total, ledger) in output.breakdown {
                 breakdown.rows.push(BreakdownRow { series: name.clone(), x, total, ledger });
             }
@@ -325,6 +346,7 @@ impl ExperimentPlan {
             job_wall,
             sim_cycles,
             breakdown,
+            attributed,
         };
         (set, metrics)
     }
@@ -446,6 +468,7 @@ mod tests {
             job_wall: Duration::from_secs(2),
             sim_cycles: 10_000_000,
             breakdown: BreakdownSet::new("f"),
+            attributed: AttributedLedger::default(),
         };
         let thr = m.sim_cycles_per_host_second();
         assert!((thr - 5_000_000.0).abs() < 1.0, "{thr}");
@@ -480,5 +503,9 @@ mod tests {
         assert_eq!(row.series, "alpha");
         assert_eq!(row.ledger.total(), row.total);
         assert!(row.total > 0);
+        // The plan-wide attributed fold refolds to exactly the same
+        // ledger (one job here, so plan fold == job fold).
+        assert_eq!(metrics.attributed.refold(), row.ledger);
+        assert_eq!(metrics.attributed.total(), row.total);
     }
 }

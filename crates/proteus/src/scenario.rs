@@ -6,7 +6,7 @@ use porsche::costs::CostModel;
 use porsche::fault::{FaultPlan, RecoveryPolicy};
 use porsche::kernel::{KernelConfig, KernelError};
 use porsche::policy::PolicyKind;
-use porsche::probe::{CycleLedger, Event};
+use porsche::probe::{AttributedLedger, CycleLedger, Event, Tag};
 use porsche::stats::KernelStats;
 use proteus_apps::workload::{WorkloadConfig, WorkloadSpec};
 use proteus_apps::AppKind;
@@ -225,7 +225,9 @@ impl Scenario {
             finishes,
             stats: report.stats,
             ledger: report.ledger,
+            attributed: report.attributed,
             trace: machine.kernel().trace().snapshot(),
+            trace_dropped: machine.kernel().trace().dropped(),
             total_cycles: machine.cycles(),
             valid,
             expected_checksum: expected,
@@ -253,9 +255,15 @@ pub struct ScenarioResult {
     pub stats: KernelStats,
     /// Where every simulated cycle went (folded from the event stream).
     pub ledger: CycleLedger,
+    /// The same cycles attributed per process × emit site; refolds to
+    /// `ledger` exactly (see `porsche::probe::AttributedLedger`).
+    pub attributed: AttributedLedger,
     /// Timeline events, oldest first (empty unless
     /// [`Scenario::trace_capacity`] was set).
-    pub trace: Vec<(u64, Event)>,
+    pub trace: Vec<(u64, Tag, Event)>,
+    /// Events the trace ring discarded (oldest-first) once full; when
+    /// non-zero, `trace` is only the *tail* of the timeline.
+    pub trace_dropped: u64,
     /// Total simulated cycles, including post-makespan idle time; equals
     /// [`CycleLedger::total`] of `ledger`.
     pub total_cycles: u64,

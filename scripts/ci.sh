@@ -41,4 +41,20 @@ diff "$serial_dir/breakdown_fault_campaign.csv" "$parallel_dir/breakdown_fault_c
 diff scripts/golden/fault_campaign_quick.csv "$serial_dir/fault_campaign.csv"
 echo "fault campaign deterministic and matches the golden matrix"
 
+echo "== profiling exports (folded determinism, golden diff, Chrome trace) =="
+cargo run --release -p proteus-bench --bin repro -- \
+    --quick --jobs 1 --out "$serial_dir" --flame fig3 >/dev/null
+cargo run --release -p proteus-bench --bin repro -- \
+    --quick --jobs 2 --out "$parallel_dir" --flame fig3 >/dev/null
+diff "$serial_dir/flamegraph_fig3.folded" "$parallel_dir/flamegraph_fig3.folded"
+# Attribution is deterministic, so the quick-scale folded profile must
+# reproduce the committed golden bit-for-bit on every host.
+diff scripts/golden/flamegraph_fig3_quick.folded "$serial_dir/flamegraph_fig3.folded"
+cargo run --release -p proteus-bench --bin repro -- \
+    --quick --out "$serial_dir" --chrome-trace alpha >/dev/null
+test -s "$serial_dir/chrome_trace_alpha.json" \
+    || { echo "missing chrome_trace_alpha.json" >&2; exit 1; }
+grep -q '"traceEvents"' "$serial_dir/chrome_trace_alpha.json"
+echo "folded profile byte-identical across job counts and matches the golden"
+
 echo "== ci.sh OK =="
